@@ -1,0 +1,140 @@
+// Command adifo is the Swiss-army tool of the library: circuit
+// statistics, fault listing, ADI computation and fault-order
+// inspection on any circuit.
+//
+// Usage:
+//
+//	adifo stats  -circuit irs420
+//	adifo faults -circuit c17
+//	adifo adi    -circuit lion -exhaustive
+//	adifo order  -circuit lion -exhaustive -order dynm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/eda-go/adifo/internal/adi"
+	"github.com/eda-go/adifo/internal/cli"
+	"github.com/eda-go/adifo/internal/experiments"
+	"github.com/eda-go/adifo/internal/fault"
+	"github.com/eda-go/adifo/internal/fsim"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/prng"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: adifo <command> [flags]
+
+commands:
+  stats    structural statistics of a circuit
+  faults   list the collapsed stuck-at fault set
+  adi      compute accidental detection indices
+  order    print a fault order
+
+common flags:
+  -circuit ref   embedded name (c17, s27, lion), suite name, or .bench path
+  -exhaustive    use all 2^inputs vectors for U (inputs <= 20)
+  -n, -seed      random vector count / seed for U
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		ref        = fs.String("circuit", "c17", "circuit reference")
+		exhaustive = fs.Bool("exhaustive", false, "use all 2^inputs vectors")
+		n          = fs.Int("n", experiments.MaxRandomVectors, "random vector budget for U")
+		seed       = fs.Uint64("seed", experiments.USeed, "random vector seed")
+		orderName  = fs.String("order", "dynm", "fault order to print")
+		limit      = fs.Int("limit", 0, "print at most this many rows (0 = all)")
+	)
+	fs.Parse(os.Args[2:])
+
+	if err := run(cmd, *ref, *exhaustive, *n, *seed, *orderName, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "adifo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd, ref string, exhaustive bool, n int, seed uint64, orderName string, limit int) error {
+	c, err := cli.LoadCircuit(ref)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "stats":
+		st := c.ComputeStats()
+		fmt.Printf("circuit   %s\n", c.Name)
+		fmt.Printf("inputs    %d\n", st.Inputs)
+		fmt.Printf("outputs   %d\n", st.Outputs)
+		fmt.Printf("gates     %d\n", st.Gates)
+		fmt.Printf("levels    %d\n", st.Levels)
+		fmt.Printf("lines     %d\n", st.Lines)
+		fmt.Printf("max fanin %d, max fanout %d, fanout stems %d\n",
+			st.MaxFanin, st.MaxFanout, st.FanoutStem)
+		fl := fault.CollapsedUniverse(c)
+		fmt.Printf("faults    %d collapsed (%d uncollapsed)\n", fl.Len(), fault.Universe(c).Len())
+		return nil
+
+	case "faults":
+		fl := fault.CollapsedUniverse(c)
+		for i, f := range fl.Faults {
+			if limit > 0 && i >= limit {
+				fmt.Printf("... (%d more)\n", fl.Len()-i)
+				break
+			}
+			fmt.Printf("f%-4d %s\n", i, f.Name(c))
+		}
+		return nil
+
+	case "adi", "order":
+		fl := fault.CollapsedUniverse(c)
+		u := vectorSet(c, fl, exhaustive, n, seed)
+		ix := adi.Compute(fl, u)
+		mn, mx := ix.MinMax()
+		fmt.Printf("U %d vectors; |F_U| = %d of %d faults; ADImin=%d ADImax=%d ratio=%.2f\n",
+			u.Len(), ix.NumDetected(), fl.Len(), mn, mx, ix.Ratio())
+		if cmd == "adi" {
+			for i, f := range fl.Faults {
+				if limit > 0 && i >= limit {
+					fmt.Printf("... (%d more)\n", fl.Len()-i)
+					break
+				}
+				fmt.Printf("f%-4d ADI=%-5d |D(f)|=%-5d %s\n", i, ix.ADI[i], ix.Det[i].Count(), f.Name(c))
+			}
+			return nil
+		}
+		kind, err := cli.ParseOrder(orderName)
+		if err != nil {
+			return err
+		}
+		ord := ix.Order(kind)
+		fmt.Printf("order %v:\n", kind)
+		for pos, fi := range ord {
+			if limit > 0 && pos >= limit {
+				fmt.Printf("... (%d more)\n", len(ord)-pos)
+				break
+			}
+			fmt.Printf("%4d: f%-4d ADI=%-5d %s\n", pos, fi, ix.ADI[fi], fl.Faults[fi].Name(c))
+		}
+		return nil
+	}
+	usage()
+	return nil
+}
+
+func vectorSet(c interface{ NumInputs() int }, fl *fault.List, exhaustive bool, n int, seed uint64) *logic.PatternSet {
+	if exhaustive {
+		return logic.ExhaustivePatterns(c.NumInputs())
+	}
+	candidates := logic.RandomPatterns(c.NumInputs(), n, prng.New(seed))
+	sizing := fsim.Run(fl, candidates, fsim.Options{Mode: fsim.Drop, StopAtCoverage: experiments.TargetCoverage})
+	return candidates.Slice(sizing.VectorsUsed)
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestCommands(t *testing.T) {
+	cases := []struct{ cmd, circuit string }{
+		{"stats", "c17"},
+		{"faults", "c17"},
+		{"adi", "lion"},
+		{"order", "lion"},
+	}
+	for _, c := range cases {
+		if err := run(c.cmd, c.circuit, true, 100, 1, "dynm", 5); err != nil {
+			t.Fatalf("%s %s: %v", c.cmd, c.circuit, err)
+		}
+	}
+}
+
+func TestOrderBadName(t *testing.T) {
+	if err := run("order", "lion", true, 100, 1, "bogus", 0); err == nil {
+		t.Fatal("expected error for unknown order")
+	}
+}
+
+func TestBadCircuit(t *testing.T) {
+	if err := run("stats", "nope", false, 10, 1, "dynm", 0); err == nil {
+		t.Fatal("expected error for unknown circuit")
+	}
+}

@@ -1,0 +1,86 @@
+// Command atpg runs the ordered test generation flow of the paper on
+// one circuit: compute the accidental detection index from a random
+// vector set, order the faults, generate tests with PODEM and fault
+// dropping, and report test count, coverage and curve steepness.
+//
+// Usage:
+//
+//	atpg -circuit c17 -order dynm
+//	atpg -circuit irs420 -order 0dynm -print-tests
+//	atpg -circuit design.bench -order orig -backtracks 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/eda-go/adifo/internal/adi"
+	"github.com/eda-go/adifo/internal/cli"
+	"github.com/eda-go/adifo/internal/experiments"
+	"github.com/eda-go/adifo/internal/fault"
+	"github.com/eda-go/adifo/internal/fsim"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/prng"
+	"github.com/eda-go/adifo/internal/tgen"
+)
+
+func main() {
+	var (
+		ref        = flag.String("circuit", "c17", "embedded name, suite name, or .bench path")
+		orderName  = flag.String("order", "dynm", "fault order: orig, incr0, decr, 0decr, dynm, 0dynm")
+		backtracks = flag.Int("backtracks", 0, "PODEM backtrack limit (0 = default)")
+		printTests = flag.Bool("print-tests", false, "print the generated vectors")
+		uSeed      = flag.Uint64("useed", experiments.USeed, "seed for the ADI vector set U")
+		fillSeed   = flag.Uint64("fillseed", experiments.FillSeed, "seed for random fill of test cubes")
+	)
+	flag.Parse()
+
+	if err := run(*ref, *orderName, *backtracks, *printTests, *uSeed, *fillSeed); err != nil {
+		fmt.Fprintln(os.Stderr, "atpg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ref, orderName string, backtracks int, printTests bool, uSeed, fillSeed uint64) error {
+	kind, err := cli.ParseOrder(orderName)
+	if err != nil {
+		return err
+	}
+	c, err := cli.LoadCircuit(ref)
+	if err != nil {
+		return err
+	}
+	fl := fault.CollapsedUniverse(c)
+
+	// Size U per the paper: up to 10k random vectors, truncated at
+	// ~90% coverage.
+	candidates := logic.RandomPatterns(c.NumInputs(), experiments.MaxRandomVectors, prng.New(uSeed))
+	sizing := fsim.Run(fl, candidates, fsim.Options{Mode: fsim.Drop, StopAtCoverage: experiments.TargetCoverage})
+	u := candidates.Slice(sizing.VectorsUsed)
+	ix := adi.Compute(fl, u)
+
+	res := tgen.Generate(fl, ix.Order(kind), tgen.Options{
+		BacktrackLimit: backtracks,
+		FillSeed:       fillSeed,
+		Validate:       true,
+	})
+
+	mn, mx := ix.MinMax()
+	fmt.Printf("circuit    %s: %d inputs, %d faults\n", c.Name, c.NumInputs(), fl.Len())
+	fmt.Printf("U          %d vectors (ADImin=%d ADImax=%d ratio=%.2f)\n", u.Len(), mn, mx, ix.Ratio())
+	fmt.Printf("order      %v\n", kind)
+	fmt.Printf("tests      %d\n", len(res.Tests))
+	fmt.Printf("detected   %d (%.2f%%)\n", res.Detected(), 100*res.Coverage())
+	fmt.Printf("redundant  %d\n", len(res.Redundant))
+	fmt.Printf("aborted    %d\n", len(res.Aborted))
+	fmt.Printf("AVE        %.3f\n", res.AVE())
+	fmt.Printf("atpg calls %d, backtracks %d, elapsed %v\n", res.AtpgCalls, res.Backtracks, res.Elapsed)
+
+	if printTests {
+		for i, v := range res.Tests {
+			fmt.Printf("t%-4d %s (for %s)\n", i+1, v, fl.Faults[res.TargetOf[i]].Name(c))
+		}
+	}
+	return nil
+}

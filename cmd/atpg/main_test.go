@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunC17(t *testing.T) {
+	if err := run("c17", "dynm", 0, true, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadOrder(t *testing.T) {
+	if err := run("c17", "bogus", 0, false, 1, 2); err == nil {
+		t.Fatal("expected error for unknown order")
+	}
+}
+
+func TestRunBadCircuit(t *testing.T) {
+	if err := run("no-such-circuit", "dynm", 0, false, 1, 2); err == nil {
+		t.Fatal("expected error for unknown circuit")
+	}
+}

@@ -1,0 +1,72 @@
+// Command benchgen emits the synthetic benchmark suite as .bench
+// files, so the circuits the experiments run on can be inspected,
+// archived, or fed to third-party tools.
+//
+// Usage:
+//
+//	benchgen -out ./bench              # full suite, irredundant
+//	benchgen -out ./bench -raw         # skip the irredundancy pass
+//	benchgen -out ./bench -suite small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/eda-go/adifo/internal/circuit"
+	"github.com/eda-go/adifo/internal/cli"
+	"github.com/eda-go/adifo/internal/gen"
+	"github.com/eda-go/adifo/internal/irr"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", ".", "output directory")
+		suiteSel = flag.String("suite", "full", "circuit suite: full, small, or one circuit name")
+		raw      = flag.Bool("raw", false, "emit the raw generator output without the irredundancy pass")
+	)
+	flag.Parse()
+
+	if err := run(*out, *suiteSel, *raw); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, suiteSel string, raw bool) error {
+	suite, err := cli.Suite(suiteSel)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for _, sc := range suite {
+		c := gen.Generate(sc.Config())
+		if !raw {
+			var err error
+			c, _, err = irr.Make(c, irr.Options{})
+			if err != nil {
+				return fmt.Errorf("%s: %w", sc.Name, err)
+			}
+		}
+		path := filepath.Join(out, sc.Name+".bench")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := circuit.WriteBench(f, c); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		st := c.ComputeStats()
+		fmt.Printf("%s: %d inputs, %d outputs, %d gates, %d levels -> %s\n",
+			sc.Name, st.Inputs, st.Outputs, st.Gates, st.Levels, path)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/eda-go/adifo/internal/circuit"
+)
+
+func TestRunEmitsParseableBench(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "irs208", true); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "irs208.bench")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := circuit.ParseBench("irs208", f)
+	if err != nil {
+		t.Fatalf("emitted file does not parse: %v", err)
+	}
+	if c.NumInputs() != 19 {
+		t.Fatalf("inputs = %d", c.NumInputs())
+	}
+}
+
+func TestRunBadSuite(t *testing.T) {
+	if err := run(t.TempDir(), "bogus", true); err == nil {
+		t.Fatal("expected error")
+	}
+}

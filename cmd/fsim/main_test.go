@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	for _, mode := range []string{"drop", "nodrop", "ndetect"} {
+		if err := run("c17", 64, 1, false, mode, 3, 0, false); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunExhaustiveUncollapsed(t *testing.T) {
+	if err := run("lion", 0, 1, true, "nodrop", 0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	if err := run("c17", 8, 1, false, "bogus", 0, 0, false); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+}

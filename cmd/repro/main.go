@@ -1,0 +1,112 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	repro -table 1            # the lion worked example
+//	repro -table 4            # ADI spread over the suite
+//	repro -table 5            # test-set sizes per fault order
+//	repro -table 6            # relative run times
+//	repro -table 7            # coverage-curve steepness (AVE)
+//	repro -figure 1           # coverage curves for irs420
+//	repro -all                # everything, in paper order
+//	repro -all -suite small   # quick run on a three-circuit suite
+//
+// Tables 5, 6 and 7 are projections of the same generation runs; when
+// more than one of them is requested the runs are executed once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/eda-go/adifo/internal/cli"
+	"github.com/eda-go/adifo/internal/experiments"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "table number to regenerate (1, 4, 5, 6 or 7)")
+		figure   = flag.Int("figure", 0, "figure number to regenerate (1)")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		ablation = flag.Bool("ablation", false, "also run the design-choice ablations")
+		suiteSel = flag.String("suite", "full", "circuit suite: full, small, or one circuit name")
+		fig1     = flag.String("figure1-circuit", experiments.Figure1Circuit, "circuit plotted by figure 1")
+	)
+	flag.Parse()
+
+	if err := run(*table, *figure, *all, *ablation, *suiteSel, *fig1); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, figure int, all, ablation bool, suiteSel, fig1 string) error {
+	suite, err := cli.Suite(suiteSel)
+	if err != nil {
+		return err
+	}
+
+	wantTable := func(n int) bool { return all || table == n }
+	wantFigure := func(n int) bool { return all || figure == n }
+	if !all && !ablation && table == 0 && figure == 0 {
+		return fmt.Errorf("nothing to do: pass -table N, -figure N, -ablation or -all")
+	}
+
+	if wantTable(1) {
+		_, text, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+	if wantTable(4) {
+		start := time.Now()
+		_, text, err := experiments.Table4(suite)
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		fmt.Printf("(table 4 computed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if wantTable(5) || wantTable(6) || wantTable(7) {
+		start := time.Now()
+		runs, err := experiments.RunSuite(suite)
+		if err != nil {
+			return err
+		}
+		if wantTable(5) {
+			_, text := experiments.Table5(runs)
+			fmt.Println(text)
+		}
+		if wantTable(6) {
+			_, text := experiments.Table6(runs)
+			fmt.Println(text)
+		}
+		if wantTable(7) {
+			_, text := experiments.Table7(runs)
+			fmt.Println(text)
+		}
+		fmt.Printf("(generation runs completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if wantFigure(1) {
+		_, text, err := experiments.Figure1(fig1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+
+	if ablation {
+		_, text, err := experiments.Ablation(suite)
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunTable1(t *testing.T) {
+	if err := run(1, 0, false, false, "small", "irs298"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigure1SmallCircuit(t *testing.T) {
+	if err := run(0, 1, false, false, "small", "irs298"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNothingSelected(t *testing.T) {
+	if err := run(0, 0, false, false, "small", "irs298"); err == nil {
+		t.Fatal("expected error when nothing selected")
+	}
+}
+
+func TestRunBadSuite(t *testing.T) {
+	if err := run(1, 0, false, false, "bogus", "irs298"); err == nil {
+		t.Fatal("expected error for bogus suite")
+	}
+}
+
+func TestRunBadFigureCircuit(t *testing.T) {
+	if err := run(0, 1, false, false, "small", "bogus"); err == nil {
+		t.Fatal("expected error for bogus figure circuit")
+	}
+}

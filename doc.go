@@ -1,0 +1,15 @@
+// Package adifo reproduces Pomeranz & Reddy, "The Accidental Detection
+// Index as a Fault Ordering Heuristic for Full-Scan Circuits" (DATE
+// 2005), as a complete Go library: gate-level netlists, stuck-at fault
+// modelling with equivalence collapsing, bit-parallel fault
+// simulation, a PODEM test generator, the accidental detection index
+// with its six fault orders, an irredundancy pass, a synthetic
+// benchmark suite, and a harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// The implementation lives under internal/; see README.md for the
+// architecture overview, cmd/ for the command-line tools, and
+// examples/ for runnable walk-throughs of the public API. The
+// top-level bench_test.go regenerates the paper's tables and figure
+// via `go test -bench`.
+package adifo

@@ -1,0 +1,52 @@
+// Compaction: the paper's first application (Section 1, application
+// 1). Generating tests for high-ADI faults first makes every early
+// vector pay for many faults, shrinking the final test set without
+// any dynamic compaction machinery in the ATPG itself.
+//
+// This example runs the full flow of the paper's Table 5 on one
+// synthetic benchmark and compares all six fault orders.
+//
+// Run with:
+//
+//	go run ./examples/compaction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/eda-go/adifo/internal/adi"
+	"github.com/eda-go/adifo/internal/experiments"
+	"github.com/eda-go/adifo/internal/gen"
+	"github.com/eda-go/adifo/internal/report"
+	"github.com/eda-go/adifo/internal/tgen"
+)
+
+func main() {
+	// Build irs298 the way the experiments do: generate, make
+	// irredundant, size U at ~90% random-pattern coverage, compute
+	// the ADI.
+	sc, ok := gen.SuiteByName("irs298")
+	if !ok {
+		log.Fatal("suite circuit missing")
+	}
+	setup, err := experiments.Prepare(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d inputs, %d faults, |U|=%d\n",
+		setup.C.Name, setup.C.NumInputs(), setup.Faults.Len(), setup.U.Len())
+
+	tb := report.NewTable("Test-set size by fault order",
+		"order", "tests", "coverage%", "AVE", "atpg calls")
+	for _, kind := range adi.AllOrders() {
+		res := tgen.Generate(setup.Faults, setup.Index.Order(kind), tgen.Options{
+			FillSeed: experiments.FillSeed,
+			Validate: true,
+		})
+		tb.AddRow(kind.String(), len(res.Tests), 100*res.Coverage(), res.AVE(), res.AtpgCalls)
+	}
+	fmt.Println(tb.String())
+	fmt.Println("Expected shape (paper, Table 5): 0dynm smallest, dynm close,")
+	fmt.Println("orig larger, incr0 largest — ADI ordering is doing the compaction.")
+}

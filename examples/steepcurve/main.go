@@ -1,0 +1,99 @@
+// Steep coverage curves: the paper's second application (Section 1,
+// application 2). A test set whose early vectors detect most faults
+// lets you truncate the set — to fit tester memory or cut test time —
+// while giving up almost no coverage, and detects defective chips
+// sooner.
+//
+// This example generates test sets for one circuit under three
+// orders, plots the coverage curves (the paper's Figure 1), and shows
+// what happens when the last 25% of each test set is discarded.
+//
+// Run with:
+//
+//	go run ./examples/steepcurve
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/eda-go/adifo/internal/adi"
+	"github.com/eda-go/adifo/internal/experiments"
+	"github.com/eda-go/adifo/internal/gen"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/reorder"
+	"github.com/eda-go/adifo/internal/report"
+	"github.com/eda-go/adifo/internal/tgen"
+)
+
+func main() {
+	sc, ok := gen.SuiteByName("irs344")
+	if !ok {
+		log.Fatal("suite circuit missing")
+	}
+	setup, err := experiments.Prepare(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kinds := []adi.OrderKind{adi.Orig, adi.Dynm, adi.Dynm0}
+	markers := map[adi.OrderKind]byte{adi.Orig: 'o', adi.Dynm: 'd', adi.Dynm0: 'z'}
+	curves := map[adi.OrderKind][]int{}
+	results := map[adi.OrderKind]*tgen.Result{}
+	for _, kind := range kinds {
+		res := tgen.Generate(setup.Faults, setup.Index.Order(kind), tgen.Options{
+			FillSeed: experiments.FillSeed,
+			Validate: true,
+		})
+		curves[kind] = res.Curve
+		results[kind] = res
+	}
+
+	var series []report.Series
+	for _, kind := range kinds {
+		xs, ys := tgen.CoveragePoints(curves[kind])
+		series = append(series, report.Series{
+			Marker: markers[kind], Label: kind.String(), X: xs, Y: ys,
+		})
+	}
+	fmt.Println(report.Plot(
+		fmt.Sprintf("Fault coverage curves for %s", setup.C.Name), 64, 20, series...))
+
+	tb := report.NewTable("Truncation: coverage after dropping the last 25% of tests",
+		"order", "tests", "AVE", "full cov%", "75% cov%")
+	for _, kind := range kinds {
+		res := results[kind]
+		curve := res.Curve
+		keep := len(curve) * 3 / 4
+		if keep == 0 {
+			keep = 1
+		}
+		total := float64(setup.Faults.Len())
+		tb.AddRow(kind.String(), len(curve), res.AVE(),
+			100*float64(curve[len(curve)-1])/total,
+			100*float64(curve[keep-1])/total)
+	}
+	fmt.Println(tb.String())
+	fmt.Println("A lower AVE means a faulty chip is detected after fewer tests;")
+	fmt.Println("the dynm order loses the least coverage when the tail is dropped.")
+
+	// Comparison with static test-set reordering (the method of the
+	// paper's reference [7]): greedily reorder each generated test
+	// set so the most-detecting vectors come first. The paper's
+	// argument is that ADI-ordered generation already yields a steep
+	// curve without this extra pass — and that reordering an
+	// ADI-generated set is steeper still than reordering an
+	// arbitrarily generated one.
+	tb2 := report.NewTable("Static reordering (Lin et al., the paper's [7]) on top of each order",
+		"order", "AVE as generated", "AVE after reorder")
+	for _, kind := range kinds {
+		res := results[kind]
+		ps := logic.NewPatternSet(setup.C.NumInputs())
+		for _, v := range res.Tests {
+			ps.Append(v)
+		}
+		rr := reorder.Greedy(setup.Faults, ps)
+		tb2.AddRow(kind.String(), res.AVE(), tgen.AVE(rr.Curve))
+	}
+	fmt.Println(tb2.String())
+}

@@ -1,0 +1,127 @@
+// Package benchdata embeds a handful of small benchmark netlists in
+// .bench format. They serve three purposes: unit-test fixtures with
+// known structure, demonstration circuits for the examples, and the
+// worked Table-1 example of the paper (a lion-FSM-style 4-input
+// circuit; the original MCNC lion netlist is not redistributable, so
+// a hand-written next-state network of the same shape stands in —
+// see DESIGN.md).
+package benchdata
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/eda-go/adifo/internal/circuit"
+)
+
+// C17 is the classic 5-input, 6-NAND ISCAS-85 toy circuit (its
+// structure is public domain and reproduced in every testing
+// textbook).
+const C17 = `# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// S27 is the smallest ISCAS-89 sequential benchmark (4 inputs, 3
+// flip-flops, 10 gates); parsing it exercises the full-scan
+// conversion, after which it has 7 inputs and 4 outputs.
+const S27 = `# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// Lion is a 2-input, 2-state-bit Moore-style FSM combinational core
+// in the spirit of the MCNC lion benchmark used for the paper's
+// Table 1: 4 inputs after scan conversion, 16 possible input vectors,
+// and a collapsed fault count in the low forties. The next-state and
+// output logic is hand-written; the worked example only needs a small
+// 4-input circuit whose every fault is detectable by the exhaustive
+// vector set.
+const Lion = `# lion-style FSM combinational core
+INPUT(x1)
+INPUT(x0)
+OUTPUT(out)
+s1 = DFF(n1)
+s0 = DFF(n0)
+a = XOR(x1, s0)
+b = NAND(x0, s0)
+c = NOR(x1, s0)
+d = AND(s1, x0)
+n1 = NOR(a, d)
+n0 = NAND(b, a)
+e = OR(c, d)
+out = AND(e, b)
+`
+
+// all maps names to sources.
+var all = map[string]string{
+	"c17":  C17,
+	"s27":  S27,
+	"lion": Lion,
+}
+
+// Names returns the embedded circuit names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Source returns the raw .bench text of the named circuit.
+func Source(name string) (string, error) {
+	src, ok := all[name]
+	if !ok {
+		return "", fmt.Errorf("benchdata: unknown circuit %q (have %v)", name, Names())
+	}
+	return src, nil
+}
+
+// Load parses the named embedded circuit (with full-scan conversion
+// for the sequential ones).
+func Load(name string) (*circuit.Circuit, error) {
+	src, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	return circuit.ParseBenchString(name, src)
+}
+
+// MustLoad is Load for tests and examples where a parse failure is a
+// programming error.
+func MustLoad(name string) *circuit.Circuit {
+	c, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,391 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/eda-go/adifo/internal/logic"
+)
+
+// buildMux returns a 2:1 mux: y = (a AND NOT(s)) OR (b AND s).
+func buildMux(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("mux")
+	a := b.AddInput("a")
+	bb := b.AddInput("b")
+	s := b.AddInput("s")
+	ns := b.AddGate("ns", Not, s)
+	t0 := b.AddGate("t0", And, a, ns)
+	t1 := b.AddGate("t1", And, bb, s)
+	y := b.AddGate("y", Or, t0, t1)
+	b.MarkOutput(y)
+	c, err := b.Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	return c
+}
+
+func TestBuilderBasics(t *testing.T) {
+	c := buildMux(t)
+	if c.NumInputs() != 3 || c.NumOutputs() != 1 || c.NumGates() != 7 {
+		t.Fatalf("counts wrong: %d inputs, %d outputs, %d gates",
+			c.NumInputs(), c.NumOutputs(), c.NumGates())
+	}
+	if id, ok := c.GateByName("ns"); !ok || c.Gates[id].Type != Not {
+		t.Fatal("GateByName failed")
+	}
+	y := c.Outputs[0]
+	if !c.IsOutput(y) || c.IsOutput(c.Inputs[0]) {
+		t.Fatal("IsOutput wrong")
+	}
+}
+
+func TestLevelsAndTopo(t *testing.T) {
+	c := buildMux(t)
+	for _, pi := range c.Inputs {
+		if c.Level[pi] != 0 {
+			t.Fatalf("PI level = %d", c.Level[pi])
+		}
+	}
+	ns, _ := c.GateByName("ns")
+	t0, _ := c.GateByName("t0")
+	y, _ := c.GateByName("y")
+	if c.Level[ns] != 1 || c.Level[t0] != 2 || c.Level[y] != 3 || c.MaxLevel != 3 {
+		t.Fatalf("levels wrong: ns=%d t0=%d y=%d max=%d",
+			c.Level[ns], c.Level[t0], c.Level[y], c.MaxLevel)
+	}
+	// Topological: every gate appears after its fanins.
+	pos := make([]int, c.NumGates())
+	for i, g := range c.Topo {
+		pos[g] = i
+	}
+	for gi, g := range c.Gates {
+		for _, f := range g.Fanin {
+			if pos[f] >= pos[gi] {
+				t.Fatalf("gate %d before its fanin %d in topo order", gi, f)
+			}
+		}
+	}
+}
+
+func TestFanout(t *testing.T) {
+	c := buildMux(t)
+	s := c.Inputs[2]
+	// s drives ns (pin 0) and t1 (pin 1).
+	if len(c.Fanout[s]) != 2 {
+		t.Fatalf("fanout of s = %v", c.Fanout[s])
+	}
+	ns, _ := c.GateByName("ns")
+	t1, _ := c.GateByName("t1")
+	seen := map[Conn]bool{}
+	for _, fo := range c.Fanout[s] {
+		seen[fo] = true
+	}
+	if !seen[Conn{ns, 0}] || !seen[Conn{t1, 1}] {
+		t.Fatalf("fanout of s = %v", c.Fanout[s])
+	}
+}
+
+func TestFreezeRejectsCycle(t *testing.T) {
+	b := NewBuilder("cyc")
+	a := b.AddInput("a")
+	// Forward-wire a cycle by patching fanins directly, as the bench
+	// parser does.
+	g1 := b.addGate("g1", And, nil)
+	g2 := b.addGate("g2", And, nil)
+	b.c.Gates[g1].Fanin = []int{a, g2}
+	b.c.Gates[g2].Fanin = []int{a, g1}
+	b.MarkOutput(g2)
+	if _, err := b.Freeze(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestFreezeRejectsBadFanin(t *testing.T) {
+	b := NewBuilder("bad")
+	a := b.AddInput("a")
+	b.AddGate("g", Not) // NOT with zero fanins
+	b.MarkOutput(a)
+	if _, err := b.Freeze(); err == nil {
+		t.Fatal("expected fanin arity error")
+	}
+
+	b2 := NewBuilder("bad2")
+	x := b2.AddInput("x")
+	b2.AddGate("n", Not, x, x) // NOT with two fanins
+	b2.MarkOutput(x)
+	if _, err := b2.Freeze(); err == nil {
+		t.Fatal("expected max-fanin error")
+	}
+}
+
+func TestFreezeRejectsDuplicateNames(t *testing.T) {
+	b := NewBuilder("dup")
+	b.AddInput("a")
+	b.AddInput("a")
+	if _, err := b.Freeze(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("expected duplicate error, got %v", err)
+	}
+}
+
+func TestFreezeRejectsNoInputsOrOutputs(t *testing.T) {
+	b := NewBuilder("empty")
+	if _, err := b.Freeze(); err == nil {
+		t.Fatal("expected error for no inputs")
+	}
+	b2 := NewBuilder("noout")
+	b2.AddInput("a")
+	if _, err := b2.Freeze(); err == nil {
+		t.Fatal("expected error for no outputs")
+	}
+}
+
+func TestEvalWordAllTypes(t *testing.T) {
+	a, b := uint64(0b1100), uint64(0b1010)
+	cases := []struct {
+		t    GateType
+		in   []uint64
+		want uint64
+	}{
+		{Buf, []uint64{a}, a},
+		{Not, []uint64{a}, ^a},
+		{And, []uint64{a, b}, a & b},
+		{Nand, []uint64{a, b}, ^(a & b)},
+		{Or, []uint64{a, b}, a | b},
+		{Nor, []uint64{a, b}, ^(a | b)},
+		{Xor, []uint64{a, b}, a ^ b},
+		{Xnor, []uint64{a, b}, ^(a ^ b)},
+		{And, []uint64{a, b, 0b1111}, a & b},
+		{Or, []uint64{a, b, 0}, a | b},
+		{Xor, []uint64{a, b, a}, b},
+	}
+	for _, c := range cases {
+		if got := EvalWord(c.t, c.in); got != c.want {
+			t.Errorf("EvalWord(%v) = %x, want %x", c.t, got, c.want)
+		}
+	}
+}
+
+func TestEvalV3MatchesEvalWordOnBinary(t *testing.T) {
+	types := []GateType{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+	for _, ty := range types {
+		nin := 2
+		if ty == Buf || ty == Not {
+			nin = 1
+		}
+		for mask := 0; mask < 1<<uint(nin); mask++ {
+			words := make([]uint64, nin)
+			v3s := make([]logic.V3, nin)
+			for i := 0; i < nin; i++ {
+				bit := uint64(mask >> uint(i) & 1)
+				words[i] = bit
+				v3s[i] = logic.FromBit(uint8(bit))
+			}
+			wordOut := EvalWord(ty, words) & 1
+			v3Out := EvalV3(ty, v3s)
+			if !v3Out.IsBinary() || uint64(v3Out.Bit()) != wordOut {
+				t.Errorf("%v inputs %b: EvalV3=%v EvalWord=%d", ty, mask, v3Out, wordOut)
+			}
+		}
+	}
+}
+
+func TestEvalV3ControllingXBehaviour(t *testing.T) {
+	if EvalV3(And, []logic.V3{logic.Zero, logic.X}) != logic.Zero {
+		t.Fatal("AND(0,X) must be 0")
+	}
+	if EvalV3(Nand, []logic.V3{logic.Zero, logic.X}) != logic.One {
+		t.Fatal("NAND(0,X) must be 1")
+	}
+	if EvalV3(Or, []logic.V3{logic.One, logic.X}) != logic.One {
+		t.Fatal("OR(1,X) must be 1")
+	}
+	if EvalV3(Nor, []logic.V3{logic.One, logic.X}) != logic.Zero {
+		t.Fatal("NOR(1,X) must be 0")
+	}
+	if EvalV3(Xor, []logic.V3{logic.One, logic.X}) != logic.X {
+		t.Fatal("XOR(1,X) must be X")
+	}
+	if EvalV3(And, []logic.V3{logic.One, logic.X}) != logic.X {
+		t.Fatal("AND(1,X) must be X")
+	}
+}
+
+func TestControllingValue(t *testing.T) {
+	cases := []struct {
+		t    GateType
+		v    logic.V3
+		ok   bool
+		outc logic.V3
+	}{
+		{And, logic.Zero, true, logic.Zero},
+		{Nand, logic.Zero, true, logic.One},
+		{Or, logic.One, true, logic.One},
+		{Nor, logic.One, true, logic.Zero},
+		{Xor, logic.X, false, logic.X},
+		{Not, logic.X, false, logic.X},
+	}
+	for _, c := range cases {
+		v, ok := c.t.ControllingValue()
+		if ok != c.ok || (ok && v != c.v) {
+			t.Errorf("%v ControllingValue = %v,%v", c.t, v, ok)
+		}
+		if ok && c.t.OutputOnControl() != c.outc {
+			t.Errorf("%v OutputOnControl = %v, want %v", c.t, c.t.OutputOnControl(), c.outc)
+		}
+	}
+}
+
+func TestInverting(t *testing.T) {
+	for _, ty := range []GateType{Not, Nand, Nor, Xnor} {
+		if !ty.Inverting() {
+			t.Errorf("%v must be inverting", ty)
+		}
+	}
+	for _, ty := range []GateType{Buf, And, Or, Xor, PI} {
+		if ty.Inverting() {
+			t.Errorf("%v must not be inverting", ty)
+		}
+	}
+}
+
+func TestCones(t *testing.T) {
+	c := buildMux(t)
+	s := c.Inputs[2]
+	ns, _ := c.GateByName("ns")
+	t0, _ := c.GateByName("t0")
+	t1, _ := c.GateByName("t1")
+	y, _ := c.GateByName("y")
+
+	cone := c.FanoutCone(s)
+	want := []int{s, ns, t0, t1, y}
+	if len(cone) != len(want) {
+		t.Fatalf("FanoutCone(s) = %v", cone)
+	}
+	inCone := c.InputCone(t0)
+	// t0's input cone: a, s, ns, t0.
+	if len(inCone) != 4 {
+		t.Fatalf("InputCone(t0) = %v", inCone)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := buildMux(t)
+	st := c.ComputeStats()
+	if st.Gates != 4 || st.Inputs != 3 || st.Outputs != 1 || st.Levels != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Lines: 7 stems + 2 branches for s (fanout 2).
+	if st.Lines != 9 {
+		t.Fatalf("Lines = %d, want 9", st.Lines)
+	}
+	if st.FanoutStem != 1 || st.MaxFanout != 2 || st.MaxFanin != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestControllabilityMux(t *testing.T) {
+	c := buildMux(t)
+	cc := c.ComputeControllability()
+	for _, pi := range c.Inputs {
+		if cc.CC0[pi] != 1 || cc.CC1[pi] != 1 {
+			t.Fatalf("PI controllability must be 1/1")
+		}
+	}
+	ns, _ := c.GateByName("ns")
+	if cc.CC0[ns] != 2 || cc.CC1[ns] != 2 {
+		t.Fatalf("NOT controllability = %d/%d", cc.CC0[ns], cc.CC1[ns])
+	}
+	t0, _ := c.GateByName("t0")
+	// AND: CC1 = CC1(a)+CC1(ns)+1 = 1+2+1 = 4; CC0 = min(1,2)+1 = 2.
+	if cc.CC1[t0] != 4 || cc.CC0[t0] != 2 {
+		t.Fatalf("AND controllability = CC0 %d / CC1 %d", cc.CC0[t0], cc.CC1[t0])
+	}
+}
+
+func TestMarkOutputRangeCheck(t *testing.T) {
+	b := NewBuilder("r")
+	b.AddInput("a")
+	b.MarkOutput(99)
+	if _, err := b.Freeze(); err == nil {
+		t.Fatal("expected error for out-of-range output id")
+	}
+}
+
+func TestAddGatePIMisuse(t *testing.T) {
+	b := NewBuilder("pi")
+	b.AddGate("x", PI)
+	if _, err := b.Freeze(); err == nil {
+		t.Fatal("expected error for AddGate(PI)")
+	}
+}
+
+func TestObservabilityMux(t *testing.T) {
+	c := buildMux(t)
+	cc := c.ComputeControllability()
+	ob := c.ComputeObservability(cc)
+	y, _ := c.GateByName("y")
+	if ob.CO[y] != 0 {
+		t.Fatalf("output CO = %d, want 0", ob.CO[y])
+	}
+	t0, _ := c.GateByName("t0")
+	// Observing t0 through OR y: CO(y)=0 + CC0(t1) + 1.
+	t1, _ := c.GateByName("t1")
+	want := cc.CC0[t1] + 1
+	if ob.CO[t0] != want {
+		t.Fatalf("CO(t0) = %d, want %d", ob.CO[t0], want)
+	}
+	// Every gate of the mux is observable.
+	for gi := range c.Gates {
+		if !ob.Observable(gi) {
+			t.Fatalf("gate %s unobservable", c.Gates[gi].Name)
+		}
+	}
+	// Deeper gates cost at least as much as the output.
+	s := c.Inputs[2]
+	if ob.CO[s] <= 0 {
+		t.Fatalf("CO(select) = %d, want positive", ob.CO[s])
+	}
+}
+
+func TestObservabilityUnreachableGate(t *testing.T) {
+	b := NewBuilder("dangling")
+	a := b.AddInput("a")
+	bb := b.AddInput("b")
+	y := b.AddGate("y", And, a, bb)
+	b.AddGate("dead", Or, a, bb) // no fanout, not observed
+	b.MarkOutput(y)
+	c, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := c.ComputeControllability()
+	ob := c.ComputeObservability(cc)
+	dead, _ := c.GateByName("dead")
+	if ob.Observable(dead) {
+		t.Fatal("dangling gate must be unobservable")
+	}
+	if !ob.Observable(a) {
+		t.Fatal("input observable through y")
+	}
+}
+
+func TestObservabilityXorSidecost(t *testing.T) {
+	b := NewBuilder("xo")
+	a := b.AddInput("a")
+	bb := b.AddInput("b")
+	y := b.AddGate("y", Xor, a, bb)
+	b.MarkOutput(y)
+	c, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := c.ComputeControllability()
+	ob := c.ComputeObservability(cc)
+	// Observing a through XOR costs CO(y) + min(CC0(b),CC1(b)) + 1 =
+	// 0 + 1 + 1 = 2.
+	if ob.CO[a] != 2 {
+		t.Fatalf("CO(a) = %d, want 2", ob.CO[a])
+	}
+}

@@ -1,0 +1,77 @@
+// Package cli holds the small amount of plumbing shared by the
+// command-line tools: resolving a circuit argument and parsing order
+// names.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/eda-go/adifo/internal/adi"
+	"github.com/eda-go/adifo/internal/benchdata"
+	"github.com/eda-go/adifo/internal/circuit"
+	"github.com/eda-go/adifo/internal/gen"
+	"github.com/eda-go/adifo/internal/irr"
+)
+
+// LoadCircuit resolves a circuit reference, trying in order:
+//
+//  1. an embedded benchmark name (c17, s27, lion);
+//  2. a synthetic suite name (irs208 … irs13207), generated and made
+//     irredundant exactly as the experiments do;
+//  3. a path to a .bench file.
+func LoadCircuit(ref string) (*circuit.Circuit, error) {
+	if c, err := benchdata.Load(ref); err == nil {
+		return c, nil
+	}
+	if sc, ok := gen.SuiteByName(ref); ok {
+		raw := gen.Generate(sc.Config())
+		c, _, err := irr.Make(raw, irr.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("building %s: %w", ref, err)
+		}
+		return c, nil
+	}
+	f, err := os.Open(ref)
+	if err != nil {
+		return nil, fmt.Errorf("%q is neither an embedded circuit (%v), a suite name, nor a readable file: %w",
+			ref, benchdata.Names(), err)
+	}
+	defer f.Close()
+	return circuit.ParseBench(ref, f)
+}
+
+// ParseOrder maps the paper's order labels to adi.OrderKind.
+func ParseOrder(name string) (adi.OrderKind, error) {
+	switch strings.ToLower(name) {
+	case "orig":
+		return adi.Orig, nil
+	case "incr0":
+		return adi.Incr0, nil
+	case "decr":
+		return adi.Decr, nil
+	case "0decr", "decr0":
+		return adi.Decr0, nil
+	case "dynm":
+		return adi.Dynm, nil
+	case "0dynm", "dynm0":
+		return adi.Dynm0, nil
+	}
+	return 0, fmt.Errorf("unknown order %q (want orig, incr0, decr, 0decr, dynm or 0dynm)", name)
+}
+
+// Suite resolves a suite selector: "small", "full", or a single
+// circuit name.
+func Suite(sel string) ([]gen.SuiteCircuit, error) {
+	switch strings.ToLower(sel) {
+	case "small":
+		return gen.SmallSuite(), nil
+	case "full", "paper":
+		return gen.PaperSuite(), nil
+	}
+	if sc, ok := gen.SuiteByName(sel); ok {
+		return []gen.SuiteCircuit{sc}, nil
+	}
+	return nil, fmt.Errorf("unknown suite %q (want small, full, or a circuit name)", sel)
+}

@@ -1,0 +1,98 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/eda-go/adifo/internal/adi"
+)
+
+func TestLoadEmbedded(t *testing.T) {
+	c, err := LoadCircuit("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "c17" || c.NumInputs() != 5 {
+		t.Fatalf("loaded %s with %d inputs", c.Name, c.NumInputs())
+	}
+}
+
+func TestLoadSuiteMember(t *testing.T) {
+	c, err := LoadCircuit("irs208")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 19 {
+		t.Fatalf("irs208 inputs = %d", c.NumInputs())
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.bench")
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCircuit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 2 {
+		t.Fatalf("inputs = %d", c.NumInputs())
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := LoadCircuit("no-such-thing"); err == nil {
+		t.Fatal("unknown reference resolved")
+	}
+}
+
+func TestLoadBadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.bench")
+	if err := os.WriteFile(path, []byte("not a netlist"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCircuit(path); err == nil {
+		t.Fatal("malformed file parsed")
+	}
+}
+
+func TestParseOrder(t *testing.T) {
+	cases := map[string]adi.OrderKind{
+		"orig": adi.Orig, "incr0": adi.Incr0, "decr": adi.Decr,
+		"0decr": adi.Decr0, "decr0": adi.Decr0,
+		"dynm": adi.Dynm, "0dynm": adi.Dynm0, "DYNM0": adi.Dynm0,
+	}
+	for name, want := range cases {
+		got, err := ParseOrder(name)
+		if err != nil || got != want {
+			t.Errorf("ParseOrder(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseOrder("bogus"); err == nil || !strings.Contains(err.Error(), "unknown order") {
+		t.Fatalf("bogus order accepted: %v", err)
+	}
+}
+
+func TestSuiteSelectors(t *testing.T) {
+	small, err := Suite("small")
+	if err != nil || len(small) != 3 {
+		t.Fatalf("small = %d circuits, %v", len(small), err)
+	}
+	full, err := Suite("full")
+	if err != nil || len(full) != 14 {
+		t.Fatalf("full = %d circuits, %v", len(full), err)
+	}
+	one, err := Suite("irs420")
+	if err != nil || len(one) != 1 || one[0].Name != "irs420" {
+		t.Fatalf("single = %+v, %v", one, err)
+	}
+	if _, err := Suite("bogus"); err == nil {
+		t.Fatal("bogus suite accepted")
+	}
+}

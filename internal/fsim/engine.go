@@ -1,0 +1,189 @@
+// Package fsim implements stuck-at fault simulation using PPSFP
+// (parallel-pattern single-fault propagation): good-machine values are
+// computed once per 64-pattern block, then each fault is injected in
+// turn and only its fanout cone is re-evaluated, level by level.
+//
+// Three modes cover everything the paper needs:
+//
+//   - no-drop simulation produces, for every fault f, the detection
+//     set D(f) and, for every vector u, the count ndet(u) — the raw
+//     material of the accidental detection index (Section 2);
+//   - drop mode removes a fault at its first detection and is used to
+//     size the random vector set U (simulate until ~90% coverage);
+//   - n-detect mode drops a fault at its n-th detection, the cheaper
+//     ndet estimator the paper mentions as an alternative.
+//
+// An Incremental simulator supports the ATPG flow: vectors arrive one
+// at a time and every fault detected by the new vector is dropped.
+package fsim
+
+import (
+	"github.com/eda-go/adifo/internal/circuit"
+	"github.com/eda-go/adifo/internal/fault"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/sim"
+)
+
+// engine re-simulates single-fault fanout cones against one 64-pattern
+// block of good values. Epoch-stamped value/queue marks make per-fault
+// reset O(1).
+type engine struct {
+	c    *circuit.Circuit
+	good []uint64 // shared with the good simulator (read-only here)
+
+	fval  []uint64 // faulty value of touched gates
+	vmark []uint32 // epoch stamp: fval[g] valid iff vmark[g] == epoch
+	qmark []uint32 // epoch stamp: gate already queued this fault
+	epoch uint32
+
+	buckets   [][]int // per-level pending gates
+	usedLevel []int   // levels with non-empty buckets this fault
+	in        []uint64
+}
+
+func newEngine(c *circuit.Circuit, good []uint64) *engine {
+	maxFanin := 0
+	for _, g := range c.Gates {
+		if len(g.Fanin) > maxFanin {
+			maxFanin = len(g.Fanin)
+		}
+	}
+	return &engine{
+		c:       c,
+		good:    good,
+		fval:    make([]uint64, c.NumGates()),
+		vmark:   make([]uint32, c.NumGates()),
+		qmark:   make([]uint32, c.NumGates()),
+		buckets: make([][]int, c.MaxLevel+1),
+		in:      make([]uint64, maxFanin),
+	}
+}
+
+// value returns the faulty-machine value of gate g for the current
+// fault (the good value if g is untouched).
+func (e *engine) value(g int) uint64 {
+	if e.vmark[g] == e.epoch {
+		return e.fval[g]
+	}
+	return e.good[g]
+}
+
+func (e *engine) setValue(g int, v uint64) {
+	e.fval[g] = v
+	e.vmark[g] = e.epoch
+}
+
+func (e *engine) enqueueFanout(g int) {
+	for _, fo := range e.c.Fanout[g] {
+		e.enqueue(fo.Gate)
+	}
+}
+
+func (e *engine) enqueue(g int) {
+	if e.qmark[g] == e.epoch {
+		return
+	}
+	e.qmark[g] = e.epoch
+	lvl := e.c.Level[g]
+	if len(e.buckets[lvl]) == 0 {
+		e.usedLevel = append(e.usedLevel, lvl)
+	}
+	e.buckets[lvl] = append(e.buckets[lvl], g)
+}
+
+// propagate injects fault f against the current good values and
+// returns the detection word: bit i set iff pattern i of the block
+// detects f at some observed output. The caller is responsible for
+// masking the word with the block's valid-pattern mask.
+func (e *engine) propagate(f fault.Fault) uint64 {
+	e.epoch++
+	for _, lvl := range e.usedLevel {
+		e.buckets[lvl] = e.buckets[lvl][:0]
+	}
+	e.usedLevel = e.usedLevel[:0]
+
+	var det uint64
+	stuck := uint64(0)
+	if f.SA == 1 {
+		stuck = ^uint64(0)
+	}
+
+	if f.Pin == fault.StemPin {
+		diff := stuck ^ e.good[f.Gate]
+		if diff == 0 {
+			return 0
+		}
+		e.setValue(f.Gate, stuck)
+		if e.c.IsOutput(f.Gate) {
+			det |= diff
+		}
+		e.enqueueFanout(f.Gate)
+		// The faulted stem must not be re-evaluated from its fanins.
+		e.qmark[f.Gate] = e.epoch
+	} else {
+		// Branch fault: only gate f.Gate sees the stuck value on pin
+		// f.Pin; the driver's other fanout branches are healthy.
+		g := &e.c.Gates[f.Gate]
+		in := e.in[:len(g.Fanin)]
+		for k, fi := range g.Fanin {
+			in[k] = e.good[fi]
+		}
+		in[f.Pin] = stuck
+		nv := circuit.EvalWord(g.Type, in)
+		diff := nv ^ e.good[f.Gate]
+		if diff == 0 {
+			return 0
+		}
+		e.setValue(f.Gate, nv)
+		if e.c.IsOutput(f.Gate) {
+			det |= diff
+		}
+		e.enqueueFanout(f.Gate)
+		e.qmark[f.Gate] = e.epoch
+	}
+
+	// Level-ordered single pass: every queued gate is evaluated once,
+	// after all of its (possibly faulty) fanins are final.
+	for lvl := 0; lvl <= e.c.MaxLevel; lvl++ {
+		bucket := e.buckets[lvl]
+		if len(bucket) == 0 {
+			continue
+		}
+		for _, gi := range bucket {
+			g := &e.c.Gates[gi]
+			in := e.in[:len(g.Fanin)]
+			for k, fi := range g.Fanin {
+				in[k] = e.value(fi)
+			}
+			nv := circuit.EvalWord(g.Type, in)
+			diff := nv ^ e.good[gi]
+			if diff == 0 {
+				// Converged back to the good value: prune.
+				continue
+			}
+			e.setValue(gi, nv)
+			if e.c.IsOutput(gi) {
+				det |= diff
+			}
+			e.enqueueFanout(gi)
+		}
+	}
+	return det
+}
+
+// Detects reports whether vector v detects fault f on circuit c. It is
+// a convenience single-fault, single-vector entry point built on the
+// same engine as the batch simulator; the ATPG uses it to validate
+// generated tests and the property tests use it as a cross-check.
+func Detects(c *circuit.Circuit, f fault.Fault, v logic.Vector) bool {
+	s := sim.New(c)
+	words := make([]uint64, c.NumInputs())
+	for i, bit := range v {
+		if bit != 0 {
+			words[i] = 1
+		}
+	}
+	s.SimulateWords(words)
+	e := newEngine(c, s.Values())
+	return e.propagate(f)&1 != 0
+}

@@ -1,0 +1,297 @@
+package fsim
+
+import (
+	"fmt"
+
+	"github.com/eda-go/adifo/internal/fault"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/sim"
+)
+
+// Mode selects the dropping policy of a batch simulation run.
+type Mode int
+
+const (
+	// NoDrop simulates every fault against every vector and records
+	// complete detection sets D(f) and per-vector counts ndet(u).
+	// This is the mode the ADI computation requires (Section 2 of the
+	// paper).
+	NoDrop Mode = iota
+	// Drop removes a fault from consideration at its first detection.
+	Drop
+	// NDetect removes a fault after its n-th detection (set Options.N);
+	// ndet(u) then counts only pre-drop detections, which is the
+	// cheaper estimate the paper mentions as an alternative to full
+	// no-drop simulation.
+	NDetect
+)
+
+// Options configures a batch run.
+type Options struct {
+	Mode Mode
+	// N is the detection count at which NDetect mode drops a fault.
+	N int
+	// StopAtCoverage, when positive (e.g. 0.90), stops the run after
+	// the first block in which total fault coverage reaches the
+	// threshold. Used to size the random vector set U.
+	StopAtCoverage float64
+}
+
+// Result holds everything a batch simulation learned.
+type Result struct {
+	List *fault.List
+
+	// VectorsUsed is the number of vectors actually simulated (may be
+	// less than the pattern set size when StopAtCoverage triggers;
+	// always a multiple of 64 in that case, except on the last block).
+	VectorsUsed int
+
+	// DetCount[f] is the number of simulated vectors that detect
+	// fault f (subject to the dropping policy).
+	DetCount []int
+
+	// FirstDet[f] is the index of the first vector that detects f, or
+	// -1 if f was never detected.
+	FirstDet []int
+
+	// Ndet[u] is the number of faults detected by vector u (subject
+	// to the dropping policy; in NoDrop mode this is the paper's
+	// ndet(u)).
+	Ndet []int
+
+	// Det[f] is the detection set D(f) as a bitset over vector
+	// indices. Populated in NoDrop mode and, truncated to the first n
+	// detections per fault, in NDetect mode; nil in Drop mode, which
+	// does not need it (the bitsets dominate memory on large runs).
+	Det []*logic.Bitset
+}
+
+// Detected reports whether fault f was detected at least once.
+func (r *Result) Detected(f int) bool { return r.FirstDet[f] >= 0 }
+
+// DetectedCount returns the number of faults detected at least once.
+func (r *Result) DetectedCount() int {
+	n := 0
+	for _, fd := range r.FirstDet {
+		if fd >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverage returns the fraction of faults detected at least once.
+func (r *Result) Coverage() float64 {
+	if r.List.Len() == 0 {
+		return 0
+	}
+	return float64(r.DetectedCount()) / float64(r.List.Len())
+}
+
+// Run simulates every fault of fl against the vectors of ps under the
+// given options and returns the collected statistics.
+func Run(fl *fault.List, ps *logic.PatternSet, opts Options) *Result {
+	c := fl.Circuit
+	if ps.Inputs() != c.NumInputs() {
+		panic(fmt.Sprintf("fsim: pattern set has %d inputs, circuit has %d", ps.Inputs(), c.NumInputs()))
+	}
+	if opts.Mode == NDetect && opts.N <= 0 {
+		panic("fsim: NDetect mode requires Options.N > 0")
+	}
+
+	nf := fl.Len()
+	r := &Result{
+		List:     fl,
+		DetCount: make([]int, nf),
+		FirstDet: make([]int, nf),
+		Ndet:     make([]int, ps.Len()),
+	}
+	for i := range r.FirstDet {
+		r.FirstDet[i] = -1
+	}
+	if opts.Mode == NoDrop || opts.Mode == NDetect {
+		r.Det = make([]*logic.Bitset, nf)
+		for i := range r.Det {
+			r.Det[i] = logic.NewBitset(ps.Len())
+		}
+	}
+
+	gs := sim.New(c)
+	e := newEngine(c, gs.Values())
+
+	// active holds indices of not-yet-dropped faults; in NoDrop mode
+	// it never shrinks.
+	active := make([]int, nf)
+	for i := range active {
+		active[i] = i
+	}
+	dropped := 0
+
+	for block := 0; block < ps.Blocks(); block++ {
+		gs.SimulateBlock(ps, block)
+		mask := ps.BlockMask(block)
+		base := block * logic.WordBits
+
+		w := 0
+		for _, fi := range active {
+			det := e.propagate(fl.Faults[fi]) & mask
+			if opts.Mode == NDetect && det != 0 {
+				// Count detections in vector order and stop exactly at
+				// the n-th, so DetCount and ndet are block-size
+				// independent.
+				det = keepLowestBits(det, opts.N-r.DetCount[fi])
+			}
+			if det != 0 {
+				r.DetCount[fi] += logic.Popcount(det)
+				if r.FirstDet[fi] < 0 {
+					r.FirstDet[fi] = base + lowestBit(det)
+				}
+				if r.Det != nil {
+					r.Det[fi].OrWord(block, det)
+				}
+				for d := det; d != 0; d &= d - 1 {
+					r.Ndet[base+lowestBit(d)]++
+				}
+			}
+			keep := true
+			switch opts.Mode {
+			case Drop:
+				keep = r.DetCount[fi] == 0
+			case NDetect:
+				keep = r.DetCount[fi] < opts.N
+			}
+			if keep {
+				active[w] = fi
+				w++
+			} else {
+				dropped++
+			}
+		}
+		active = active[:w]
+		r.VectorsUsed = min(base+logic.WordBits, ps.Len())
+
+		if opts.StopAtCoverage > 0 &&
+			float64(r.DetectedCount()) >= opts.StopAtCoverage*float64(nf) {
+			break
+		}
+		if len(active) == 0 && opts.Mode != NoDrop {
+			break
+		}
+	}
+	r.Ndet = r.Ndet[:r.VectorsUsed]
+	return r
+}
+
+// Incremental is the stateful fault simulator used inside the test
+// generation loop: vectors arrive one at a time and every fault the
+// new vector detects is dropped immediately, exactly the "fault
+// dropping" regime of the paper's ATPG flow.
+type Incremental struct {
+	list  *fault.List
+	gs    *sim.Simulator
+	e     *engine
+	alive []bool
+	nAliv int
+	words []uint64
+}
+
+// NewIncremental returns an Incremental simulator over the faults of
+// fl. All faults start alive.
+func NewIncremental(fl *fault.List) *Incremental {
+	gs := sim.New(fl.Circuit)
+	inc := &Incremental{
+		list:  fl,
+		gs:    gs,
+		e:     newEngine(fl.Circuit, gs.Values()),
+		alive: make([]bool, fl.Len()),
+		nAliv: fl.Len(),
+		words: make([]uint64, fl.Circuit.NumInputs()),
+	}
+	for i := range inc.alive {
+		inc.alive[i] = true
+	}
+	return inc
+}
+
+// Alive reports whether fault f has not yet been detected.
+func (inc *Incremental) Alive(f int) bool { return inc.alive[f] }
+
+// Remaining returns the number of alive faults.
+func (inc *Incremental) Remaining() int { return inc.nAliv }
+
+// Drop removes fault f from consideration without a detection (used
+// for faults proven redundant by the ATPG). It is a no-op when f is
+// already dropped.
+func (inc *Incremental) Drop(f int) {
+	if inc.alive[f] {
+		inc.alive[f] = false
+		inc.nAliv--
+	}
+}
+
+// SimulateVector simulates v against all alive faults, drops every
+// fault it detects and returns the dropped fault indices in
+// increasing order.
+func (inc *Incremental) SimulateVector(v logic.Vector) []int {
+	c := inc.list.Circuit
+	if len(v) != c.NumInputs() {
+		panic(fmt.Sprintf("fsim: vector width %d, circuit has %d inputs", len(v), c.NumInputs()))
+	}
+	for i, bit := range v {
+		if bit != 0 {
+			inc.words[i] = 1
+		} else {
+			inc.words[i] = 0
+		}
+	}
+	inc.gs.SimulateWords(inc.words)
+
+	var detected []int
+	for fi, ok := range inc.alive {
+		if !ok {
+			continue
+		}
+		if inc.e.propagate(inc.list.Faults[fi])&1 != 0 {
+			inc.alive[fi] = false
+			inc.nAliv--
+			detected = append(detected, fi)
+		}
+	}
+	return detected
+}
+
+func lowestBit(w uint64) int {
+	return logic.Popcount(w&-w - 1)
+}
+
+// keepLowestBits returns w with all but its k lowest set bits cleared.
+func keepLowestBits(w uint64, k int) uint64 {
+	if k <= 0 {
+		return 0
+	}
+	out := w
+	for logic.Popcount(out) > k {
+		out &^= 1 << uint(highestBit(out))
+	}
+	return out
+}
+
+// highestBit returns the index of the highest set bit of w; w must be
+// non-zero.
+func highestBit(w uint64) int {
+	n := 0
+	for shift := 32; shift > 0; shift >>= 1 {
+		if w>>uint(shift) != 0 {
+			w >>= uint(shift)
+			n += shift
+		}
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

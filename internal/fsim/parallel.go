@@ -1,0 +1,118 @@
+package fsim
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/eda-go/adifo/internal/fault"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/sim"
+)
+
+// RunParallel is Run with the per-fault cone re-simulation spread
+// across worker goroutines. Each worker owns a private engine (the
+// good-machine values are shared read-only), faults are partitioned
+// into contiguous chunks, and the per-vector ndet counters are merged
+// after every block, so the result is bit-for-bit identical to the
+// sequential Run.
+//
+// Only NoDrop mode is supported: it is the expensive mode (the ADI
+// computation simulates every fault against every vector) and the one
+// with no cross-fault control dependence. The dropping modes are
+// cheap precisely because they shrink the active list, which is a
+// sequential decision; parallelizing them would either change the
+// drop points or serialize on the shared list.
+func RunParallel(fl *fault.List, ps *logic.PatternSet, workers int) *Result {
+	c := fl.Circuit
+	if ps.Inputs() != c.NumInputs() {
+		panic("fsim: pattern set width mismatch")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nf := fl.Len()
+	if workers > nf {
+		workers = nf
+	}
+	if workers <= 1 {
+		return Run(fl, ps, Options{Mode: NoDrop})
+	}
+
+	r := &Result{
+		List:     fl,
+		DetCount: make([]int, nf),
+		FirstDet: make([]int, nf),
+		Ndet:     make([]int, ps.Len()),
+		Det:      make([]*logic.Bitset, nf),
+	}
+	for i := range r.FirstDet {
+		r.FirstDet[i] = -1
+	}
+	for i := range r.Det {
+		r.Det[i] = logic.NewBitset(ps.Len())
+	}
+
+	gs := sim.New(c)
+	engines := make([]*engine, workers)
+	for w := range engines {
+		engines[w] = newEngine(c, gs.Values())
+	}
+	// Per-worker ndet accumulators, merged per block (Ndet is the
+	// only cross-fault shared state).
+	ndetLocal := make([][]int, workers)
+	for w := range ndetLocal {
+		ndetLocal[w] = make([]int, logic.WordBits)
+	}
+
+	chunk := (nf + workers - 1) / workers
+	var wg sync.WaitGroup
+	for block := 0; block < ps.Blocks(); block++ {
+		gs.SimulateBlock(ps, block)
+		mask := ps.BlockMask(block)
+		base := block * logic.WordBits
+
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > nf {
+				hi = nf
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				e := engines[w]
+				local := ndetLocal[w]
+				for i := range local {
+					local[i] = 0
+				}
+				for fi := lo; fi < hi; fi++ {
+					det := e.propagate(fl.Faults[fi]) & mask
+					if det == 0 {
+						continue
+					}
+					r.DetCount[fi] += logic.Popcount(det)
+					if r.FirstDet[fi] < 0 {
+						r.FirstDet[fi] = base + lowestBit(det)
+					}
+					r.Det[fi].OrWord(block, det)
+					for d := det; d != 0; d &= d - 1 {
+						local[lowestBit(d)]++
+					}
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			for bit, cnt := range ndetLocal[w] {
+				if cnt != 0 {
+					r.Ndet[base+bit] += cnt
+				}
+			}
+		}
+		r.VectorsUsed = min(base+logic.WordBits, ps.Len())
+	}
+	r.Ndet = r.Ndet[:r.VectorsUsed]
+	return r
+}

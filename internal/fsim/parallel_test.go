@@ -1,0 +1,77 @@
+package fsim
+
+import (
+	"testing"
+
+	"github.com/eda-go/adifo/internal/fault"
+	"github.com/eda-go/adifo/internal/gen"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/prng"
+)
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			c := gen.Generate(gen.Config{Name: "p", Inputs: 10, Gates: 120, Seed: seed})
+			fl := fault.CollapsedUniverse(c)
+			ps := logic.RandomPatterns(c.NumInputs(), 200, prng.New(seed))
+
+			seq := Run(fl, ps, Options{Mode: NoDrop})
+			par := RunParallel(fl, ps, workers)
+
+			if par.VectorsUsed != seq.VectorsUsed {
+				t.Fatalf("workers=%d seed=%d: VectorsUsed %d vs %d",
+					workers, seed, par.VectorsUsed, seq.VectorsUsed)
+			}
+			for fi := range fl.Faults {
+				if par.DetCount[fi] != seq.DetCount[fi] {
+					t.Fatalf("workers=%d seed=%d fault %d: DetCount %d vs %d",
+						workers, seed, fi, par.DetCount[fi], seq.DetCount[fi])
+				}
+				if par.FirstDet[fi] != seq.FirstDet[fi] {
+					t.Fatalf("workers=%d seed=%d fault %d: FirstDet %d vs %d",
+						workers, seed, fi, par.FirstDet[fi], seq.FirstDet[fi])
+				}
+				for w := 0; w < (ps.Len()+63)/64; w++ {
+					if par.Det[fi].WordAt(w) != seq.Det[fi].WordAt(w) {
+						t.Fatalf("workers=%d seed=%d fault %d: Det word %d differs",
+							workers, seed, fi, w)
+					}
+				}
+			}
+			for u := range seq.Ndet {
+				if par.Ndet[u] != seq.Ndet[u] {
+					t.Fatalf("workers=%d seed=%d: ndet(%d) %d vs %d",
+						workers, seed, u, par.Ndet[u], seq.Ndet[u])
+				}
+			}
+		}
+	}
+}
+
+func TestRunParallelPanicsOnWidthMismatch(t *testing.T) {
+	c := gen.Generate(gen.Config{Name: "p", Inputs: 4, Gates: 10, Seed: 1})
+	fl := fault.CollapsedUniverse(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunParallel(fl, logic.NewPatternSet(2), 2)
+}
+
+func BenchmarkRunParallel(b *testing.B) {
+	c := gen.Generate(gen.Config{Name: "p", Inputs: 32, Gates: 600, Seed: 1})
+	fl := fault.CollapsedUniverse(c)
+	ps := logic.RandomPatterns(c.NumInputs(), 1024, prng.New(1))
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Run(fl, ps, Options{Mode: NoDrop})
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RunParallel(fl, ps, 0)
+		}
+	})
+}

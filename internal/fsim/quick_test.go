@@ -1,0 +1,66 @@
+package fsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/eda-go/adifo/internal/fault"
+	"github.com/eda-go/adifo/internal/gen"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/prng"
+)
+
+// Property: on arbitrary generated circuits, the bit-parallel PPSFP
+// engine agrees with the naive per-vector reference simulator for
+// every (fault, vector) pair.
+func TestQuickEngineMatchesNaiveOnGeneratedCircuits(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := gen.Generate(gen.Config{
+			Name:   "q",
+			Inputs: 6,
+			Gates:  40,
+			Seed:   seed,
+		})
+		fl := fault.Universe(c)
+		ps := logic.RandomPatterns(c.NumInputs(), 96, prng.New(seed^0xbeef))
+		res := Run(fl, ps, Options{Mode: NoDrop})
+		for fi, flt := range fl.Faults {
+			for u := 0; u < ps.Len(); u++ {
+				if res.Det[fi].Test(u) != naiveDetects(c, flt, ps.Get(u)) {
+					t.Logf("seed %d: fault %v vector %d disagrees", seed, flt.Name(c), u)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the modes agree on the detected-fault set (the dropping
+// policy must never change *whether* a fault is detectable by the
+// vector set, only the statistics collected).
+func TestQuickModesAgreeOnDetectedSet(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := gen.Generate(gen.Config{Name: "m", Inputs: 7, Gates: 50, Seed: seed})
+		fl := fault.CollapsedUniverse(c)
+		ps := logic.RandomPatterns(c.NumInputs(), 128, prng.New(seed))
+		noDrop := Run(fl, ps, Options{Mode: NoDrop})
+		drop := Run(fl, ps, Options{Mode: Drop})
+		nDet := Run(fl, ps, Options{Mode: NDetect, N: 2})
+		for fi := range fl.Faults {
+			if noDrop.Detected(fi) != drop.Detected(fi) || noDrop.Detected(fi) != nDet.Detected(fi) {
+				return false
+			}
+			if noDrop.FirstDet[fi] != drop.FirstDet[fi] || noDrop.FirstDet[fi] != nDet.FirstDet[fi] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,433 @@
+// Package gen generates deterministic pseudo-random combinational
+// circuits that stand in for the irredundant ISCAS-89/ITC-99
+// combinational cores used in the paper's evaluation.
+//
+// # Why synthetic circuits
+//
+// The paper evaluates on the combinational logic of named benchmark
+// netlists that are not redistributable here. The ADI heuristic,
+// however, depends only on generic structural statistics: fanout
+// driven clustering of accidental detections, a spread of easy and
+// hard faults, and random-pattern coverage around 90% for a modest
+// vector budget. The generator below produces DAGs tuned to land in
+// those regimes; the suite in suite.go mirrors the paper's circuit
+// list (same primary-input counts, gate counts scaled to the
+// benchmark's name). Every circuit is a pure function of its seed, so
+// all experiments are reproducible bit-for-bit.
+//
+// # Construction
+//
+// The generator runs a FIFO combine process. A pool of live signals
+// starts as the primary inputs; each new gate consumes signals drawn
+// from a small window at the front of the pool (oldest first, which
+// yields balanced, shallow logic like technology-mapped netlists
+// rather than degenerate chains) and appends its output to the back.
+// Fanout beyond one is introduced in two controlled ways: a fresh
+// gate output is occasionally enqueued twice, and when the pool runs
+// low an already-consumed signal is recycled. Keeping reconvergence
+// moderate matters: reconvergent fanout is the source of structural
+// redundancy, and the paper's benchmarks are explicitly irredundant.
+// Residual redundancy is removed afterwards by package irr.
+//
+// Signals left in the pool when the gate budget is exhausted, plus a
+// configurable fraction of random internal taps, become the primary
+// outputs — the taps model the pseudo-outputs that scan flip-flops
+// contribute in the real full-scan cores.
+package gen
+
+import (
+	"fmt"
+
+	"github.com/eda-go/adifo/internal/circuit"
+	"github.com/eda-go/adifo/internal/prng"
+)
+
+// Config parametrizes one synthetic circuit.
+type Config struct {
+	// Name labels the circuit.
+	Name string
+	// Inputs is the number of primary inputs.
+	Inputs int
+	// Gates is the number of logic gates to emit.
+	Gates int
+	// Seed drives every random choice.
+	Seed uint64
+
+	// XorFrac is the probability of an XOR/XNOR gate (default 0.05).
+	XorFrac float64
+	// InvFrac is the probability of a NOT/BUFF gate (default 0.10).
+	InvFrac float64
+	// WideFrac is the probability that a 2-input gate is widened to
+	// 3 or 4 inputs (default 0.15).
+	WideFrac float64
+	// DupFrac is the probability that a gate output is enqueued twice
+	// (immediate fanout of 2; default 0.20).
+	DupFrac float64
+	// ObserveFrac is the probability that an internal gate is tapped
+	// as an additional primary output (default 0.10). Real full-scan
+	// cores observe every flip-flop input as a pseudo-PO, which makes
+	// them far more observable than a DAG whose only outputs are its
+	// sinks; the taps model that.
+	ObserveFrac float64
+	// GuardFrac is the probability that a region is gated by a guard:
+	// a wide AND tree over 5-9 signals whose output is 1 with
+	// probability ~2^-w. Gates in a guarded region take the guard as
+	// an occasional extra fanin, which makes their faults
+	// random-resistant — the hard-to-detect tail that real decoder
+	// and comparator logic produces and that the ndet(u) spread
+	// behind the ADI feeds on (default 0.5).
+	GuardFrac float64
+	// GuardGateFrac is the probability that a gate inside a guarded
+	// region consumes the guard signal (default 0.35).
+	GuardGateFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.XorFrac == 0 {
+		c.XorFrac = 0.12
+	}
+	if c.InvFrac == 0 {
+		c.InvFrac = 0.10
+	}
+	if c.WideFrac == 0 {
+		c.WideFrac = 0.25
+	}
+	if c.DupFrac == 0 {
+		c.DupFrac = 0.15
+	}
+	if c.ObserveFrac == 0 {
+		c.ObserveFrac = 0.02
+	}
+	if c.GuardFrac == 0 {
+		c.GuardFrac = 0.3
+	}
+	if c.GuardGateFrac == 0 {
+		c.GuardGateFrac = 0.35
+	}
+	return c
+}
+
+// frontWindow is the number of pool entries at the front among which
+// fanins are drawn. A small window keeps consumption near-FIFO
+// (balanced logic) while still decorrelating siblings.
+const frontWindow = 16
+
+// minPool returns the pool occupancy floor for a configuration. The
+// floor is the effective width of the circuit: with a pool of P live
+// signals, depth grows roughly as gates/P, so tying P to the gate
+// count keeps the logic depth in the 15-40 range of the real
+// benchmarks instead of growing linearly with size.
+func minPool(cfg Config) int {
+	p := cfg.Gates / 16
+	if p < cfg.Inputs {
+		p = cfg.Inputs
+	}
+	if p < 2*frontWindow {
+		p = 2 * frontWindow
+	}
+	return p
+}
+
+// Generate builds the circuit described by cfg. It panics on
+// structurally impossible configurations (fewer than 2 inputs or 1
+// gate) and never fails otherwise.
+func Generate(cfg Config) *circuit.Circuit {
+	cfg = cfg.withDefaults()
+	if cfg.Inputs < 2 || cfg.Gates < 1 {
+		panic(fmt.Sprintf("gen: degenerate config %+v", cfg))
+	}
+	src := prng.New(cfg.Seed)
+	b := circuit.NewBuilder(cfg.Name)
+
+	all := make([]int, 0, cfg.Inputs+cfg.Gates)
+	for i := 0; i < cfg.Inputs; i++ {
+		all = append(all, b.AddInput(fmt.Sprintf("i%d", i)))
+	}
+	pool := append([]int(nil), all...)
+	src.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	// draw removes and returns one signal from the front window,
+	// avoiding the given ids; when the pool is empty it recycles an
+	// old signal (re-use = extra fanout). Recycling prefers primary
+	// inputs and early gates: reconverging on shallow, weakly
+	// correlated signals adds realistic fanout without the deep
+	// reconvergent loops that breed structural redundancy, and it
+	// keeps the logic depth logarithmic instead of chaining off the
+	// most recent gate.
+	floor := minPool(cfg)
+	draw := func(avoid []int) int {
+		for tries := 0; ; tries++ {
+			// Keep a minimum pool occupancy: draining the pool to its
+			// most recent entries would chain gates one after another
+			// (depth explosion). Below the threshold, recycle instead.
+			if len(pool) <= floor {
+				// Recycle uniformly over everything but the most
+				// recent gates: reusing a just-created signal chains
+				// gates into deep narrow logic, while spreading reuse
+				// across the whole history gives diverse, weakly
+				// correlated fanout like the real benchmarks.
+				cap := len(all) - frontWindow
+				if cap < cfg.Inputs {
+					cap = cfg.Inputs
+				}
+				s := all[src.Intn(cap)]
+				if !containsInt(avoid, s) || tries > 8 {
+					return s
+				}
+				continue
+			}
+			i := src.Intn(frontWindow)
+			s := pool[i]
+			if containsInt(avoid, s) && tries <= 8 {
+				continue
+			}
+			pool = append(pool[:i], pool[i+1:]...)
+			return s
+		}
+	}
+
+	prof := profileBalanced
+	guard := -1 // guard signal of the current region, -1 = ungated
+	gi := 0
+	// buildGuard emits a chain of 2-input ANDs over w distinct
+	// signals; the root is 1 with probability about 2^-w, so logic it
+	// gates is excited only by a rare minority of random vectors.
+	buildGuard := func() int {
+		w := 5 + src.Intn(5)
+		root := draw(nil)
+		for k := 1; k < w && gi < cfg.Gates; k++ {
+			other := draw([]int{root})
+			id := b.AddGate(fmt.Sprintf("g%d", gi), circuit.And, root, other)
+			gi++
+			all = append(all, id)
+			root = id
+		}
+		return root
+	}
+	// Reserve budget for the funnel stage below: roughly one combining
+	// gate per surplus sink.
+	sinkTarget := cfg.Inputs / 5
+	if sinkTarget < 4 {
+		sinkTarget = 4
+	}
+	reserve := floor - sinkTarget
+	if reserve < 0 {
+		reserve = 0
+	}
+	mainBudget := cfg.Gates - reserve
+	if mainBudget < cfg.Gates/2 {
+		mainBudget = cfg.Gates / 2
+	}
+
+	regionEnd := 0
+	for gi < mainBudget {
+		if gi >= regionEnd {
+			regionEnd = gi + regionLen
+			prof = typeProfile(src.Intn(int(numProfiles)))
+			guard = -1
+			if src.Float64() < cfg.GuardFrac && cfg.Gates-gi > 16 {
+				guard = buildGuard()
+			}
+		}
+		ty := chooseType(src, cfg, prof)
+		arity := 1
+		if ty != circuit.Not && ty != circuit.Buf {
+			arity = 2
+			if src.Float64() < cfg.WideFrac {
+				arity = 3 + src.Intn(2)
+			}
+		}
+		fanin := make([]int, 0, arity)
+		for len(fanin) < arity {
+			fanin = append(fanin, draw(fanin))
+		}
+		// Gate the region's logic with the guard: the rare guard
+		// value makes every fault on and behind this gate
+		// random-resistant.
+		if guard >= 0 && arity >= 2 && src.Float64() < cfg.GuardGateFrac && !containsInt(fanin, guard) {
+			fanin[0] = guard
+		}
+		id := b.AddGate(fmt.Sprintf("g%d", gi), ty, fanin...)
+		gi++
+		all = append(all, id)
+		pool = append(pool, id)
+		if src.Float64() < cfg.DupFrac {
+			pool = append(pool, id)
+		}
+	}
+
+	// Funnel: real combinational cores converge into a small set of
+	// outputs; a DAG grown by the loop above instead leaves ~floor
+	// sink gates. Spend the tail of the gate budget combining sinks
+	// pairwise so that observability is concentrated the way it is in
+	// the benchmarks — this is what pushes per-fault detectability
+	// down from "every vector sees everything" toward the paper's
+	// regime.
+	for len(pool) > sinkTarget && gi < cfg.Gates {
+		a := pool[0]
+		pool = pool[1:]
+		bIdx := src.Intn(len(pool))
+		bSig := pool[bIdx]
+		pool = append(pool[:bIdx], pool[bIdx+1:]...)
+		if a == bSig {
+			continue
+		}
+		var ty circuit.GateType
+		switch src.Intn(5) {
+		case 0:
+			ty = circuit.And
+		case 1:
+			ty = circuit.Or
+		case 2:
+			ty = circuit.Nand
+		case 3:
+			ty = circuit.Nor
+		default:
+			ty = circuit.Xor
+		}
+		id := b.AddGate(fmt.Sprintf("g%d", gi), ty, a, bSig)
+		gi++
+		all = append(all, id)
+		pool = append(pool, id)
+	}
+
+	// Observation taps, chosen from the same stream for determinism.
+	taps := make(map[int]bool)
+	for _, id := range all[cfg.Inputs:] {
+		if src.Float64() < cfg.ObserveFrac {
+			taps[id] = true
+		}
+	}
+
+	c, err := freezeWithOutputs(b, all[cfg.Inputs:], taps)
+	if err != nil {
+		// The construction above cannot produce cycles or arity
+		// violations; a failure here is a programming error.
+		panic(fmt.Sprintf("gen: internal error: %v", err))
+	}
+	return c
+}
+
+// freezeWithOutputs marks every fanout-free gate plus the tapped
+// gates as primary outputs and freezes. It needs a two-phase dance
+// because fanout counts are only known at freeze time: we tentatively
+// freeze with all gates observed, inspect the fanout lists, and
+// rebuild with the true output set.
+func freezeWithOutputs(b *circuit.Builder, gateIDs []int, taps map[int]bool) (*circuit.Circuit, error) {
+	for _, id := range gateIDs {
+		b.MarkOutput(id)
+	}
+	probe, err := b.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	nb := circuit.NewBuilder(probe.Name)
+	remap := make([]int, probe.NumGates())
+	for _, gi := range probe.Topo {
+		g := probe.Gates[gi]
+		if g.Type == circuit.PI {
+			remap[gi] = nb.AddInput(g.Name)
+			continue
+		}
+		fanin := make([]int, len(g.Fanin))
+		for k, f := range g.Fanin {
+			fanin[k] = remap[f]
+		}
+		remap[gi] = nb.AddGate(g.Name, g.Type, fanin...)
+	}
+	for gi := range probe.Gates {
+		if probe.Gates[gi].Type == circuit.PI {
+			continue
+		}
+		if len(probe.Fanout[gi]) == 0 || taps[gi] {
+			nb.MarkOutput(remap[gi])
+		}
+	}
+	return nb.Freeze()
+}
+
+// typeProfile biases the gate-type mixture of one region of the
+// circuit. Homogeneous random logic produces a flat detectability
+// landscape — every vector detects a similar number of faults and the
+// ADI carries little signal. Real designs mix datapath (parity-ish),
+// control (conjunctive decode trees) and glue logic, giving some
+// regions where faults are detected by almost every vector and others
+// where detection is rare; cycling profiles across regions recreates
+// that spread (the paper's Table 4 ratios).
+type typeProfile int
+
+const (
+	profileBalanced typeProfile = iota
+	profileConjunctive
+	profileDisjunctive
+	profileParity
+	numProfiles
+)
+
+// regionLen is the number of consecutive gates sharing one profile.
+const regionLen = 48
+
+func chooseType(src *prng.Source, cfg Config, prof typeProfile) circuit.GateType {
+	r := src.Float64()
+	xor, inv := cfg.XorFrac, cfg.InvFrac
+	if prof == profileParity {
+		xor *= 4
+	}
+	switch {
+	case r < xor/2:
+		return circuit.Xor
+	case r < xor:
+		return circuit.Xnor
+	case r < xor+inv*0.8:
+		return circuit.Not
+	case r < xor+inv:
+		return circuit.Buf
+	}
+	switch prof {
+	case profileConjunctive:
+		// Decode-tree flavour: conjunction-heavy, signal
+		// probabilities skew low, faults in the region are rarely
+		// excited by random vectors.
+		switch src.Intn(6) {
+		case 0, 1, 2:
+			return circuit.And
+		case 3, 4:
+			return circuit.Nand
+		default:
+			return circuit.Nor
+		}
+	case profileDisjunctive:
+		switch src.Intn(6) {
+		case 0, 1, 2:
+			return circuit.Or
+		case 3, 4:
+			return circuit.Nor
+		default:
+			return circuit.Nand
+		}
+	default:
+		// NAND/NOR twice as likely as AND/OR: inverting gates keep
+		// signal probabilities balanced through depth, whereas AND/OR
+		// chains drive lines toward constants (and constants breed
+		// redundant faults).
+		switch src.Intn(6) {
+		case 0:
+			return circuit.And
+		case 1:
+			return circuit.Or
+		case 2, 3:
+			return circuit.Nand
+		default:
+			return circuit.Nor
+		}
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+package irr
+
+import (
+	"testing"
+
+	"github.com/eda-go/adifo/internal/circuit"
+)
+
+// simp runs simplifyGate and returns (isConst, constVal, type,
+// faninCount) for compact assertions.
+func simp(t *testing.T, ty circuit.GateType, live []int, consts []int8) (bool, int8, circuit.GateType, int) {
+	t.Helper()
+	s := simplifyGate(ty, live, consts)
+	return s.isConst, s.val, s.typ, len(s.fanin)
+}
+
+func TestSimplifyAndFamily(t *testing.T) {
+	live := []int{7, 8}
+	// Controlling constant dominates.
+	if c, v, _, _ := simp(t, circuit.And, live, []int8{0}); !c || v != 0 {
+		t.Fatal("AND with const 0 must fold to 0")
+	}
+	if c, v, _, _ := simp(t, circuit.Nand, live, []int8{0}); !c || v != 1 {
+		t.Fatal("NAND with const 0 must fold to 1")
+	}
+	if c, v, _, _ := simp(t, circuit.Or, live, []int8{1}); !c || v != 1 {
+		t.Fatal("OR with const 1 must fold to 1")
+	}
+	if c, v, _, _ := simp(t, circuit.Nor, live, []int8{1}); !c || v != 0 {
+		t.Fatal("NOR with const 1 must fold to 0")
+	}
+	// Non-controlling constants are dropped.
+	if c, _, ty, n := simp(t, circuit.And, live, []int8{1, 1}); c || ty != circuit.And || n != 2 {
+		t.Fatal("AND with const-1 inputs must keep both live fanins")
+	}
+	// Single live input degenerates to BUF/NOT.
+	if c, _, ty, n := simp(t, circuit.And, live[:1], []int8{1}); c || ty != circuit.Buf || n != 1 {
+		t.Fatal("AND(x, 1) must become BUF(x)")
+	}
+	if c, _, ty, _ := simp(t, circuit.Nand, live[:1], []int8{1}); c || ty != circuit.Not {
+		t.Fatal("NAND(x, 1) must become NOT(x)")
+	}
+	if c, _, ty, _ := simp(t, circuit.Nor, live[:1], []int8{0}); c || ty != circuit.Not {
+		t.Fatal("NOR(x, 0) must become NOT(x)")
+	}
+	// All inputs constant: identity element result.
+	if c, v, _, _ := simp(t, circuit.And, nil, []int8{1, 1}); !c || v != 1 {
+		t.Fatal("AND(1,1) must fold to 1")
+	}
+	if c, v, _, _ := simp(t, circuit.Nor, nil, []int8{0, 0}); !c || v != 1 {
+		t.Fatal("NOR(0,0) must fold to 1")
+	}
+}
+
+func TestSimplifyXorFamily(t *testing.T) {
+	live := []int{3, 4}
+	// Constant zero inputs vanish.
+	if c, _, ty, n := simp(t, circuit.Xor, live, []int8{0}); c || ty != circuit.Xor || n != 2 {
+		t.Fatal("XOR with const 0 keeps live fanins")
+	}
+	// Constant one flips polarity.
+	if c, _, ty, _ := simp(t, circuit.Xor, live, []int8{1}); c || ty != circuit.Xnor {
+		t.Fatal("XOR with const 1 must become XNOR")
+	}
+	if c, _, ty, _ := simp(t, circuit.Xnor, live, []int8{1}); c || ty != circuit.Xor {
+		t.Fatal("XNOR with const 1 must become XOR")
+	}
+	// Two constant ones cancel.
+	if c, _, ty, _ := simp(t, circuit.Xor, live, []int8{1, 1}); c || ty != circuit.Xor {
+		t.Fatal("XOR with two const-1 inputs keeps polarity")
+	}
+	// Single live input: BUF or NOT by parity.
+	if c, _, ty, _ := simp(t, circuit.Xor, live[:1], []int8{0}); c || ty != circuit.Buf {
+		t.Fatal("XOR(x, 0) must become BUF(x)")
+	}
+	if c, _, ty, _ := simp(t, circuit.Xor, live[:1], []int8{1}); c || ty != circuit.Not {
+		t.Fatal("XOR(x, 1) must become NOT(x)")
+	}
+	// Fully constant.
+	if c, v, _, _ := simp(t, circuit.Xnor, nil, []int8{1, 1}); !c || v != 1 {
+		t.Fatal("XNOR(1,1) must fold to 1")
+	}
+}
+
+func TestSimplifyUnary(t *testing.T) {
+	if c, v, _, _ := simp(t, circuit.Not, nil, []int8{0}); !c || v != 1 {
+		t.Fatal("NOT(0) must fold to 1")
+	}
+	if c, v, _, _ := simp(t, circuit.Buf, nil, []int8{1}); !c || v != 1 {
+		t.Fatal("BUF(1) must fold to 1")
+	}
+	if c, _, ty, n := simp(t, circuit.Not, []int{5}, nil); c || ty != circuit.Not || n != 1 {
+		t.Fatal("NOT of a live signal stays a NOT")
+	}
+}

@@ -1,0 +1,124 @@
+package logic
+
+import "testing"
+
+func TestV3Strings(t *testing.T) {
+	cases := map[V3]string{Zero: "0", One: "1", X: "X"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(v), got, want)
+		}
+	}
+	if got := V3(9).String(); got != "V3(9)" {
+		t.Errorf("invalid value String() = %q", got)
+	}
+}
+
+func TestV3Not(t *testing.T) {
+	if Zero.Not() != One || One.Not() != Zero || X.Not() != X {
+		t.Fatal("three-valued complement wrong")
+	}
+}
+
+func TestV3ZeroValueIsX(t *testing.T) {
+	var v V3
+	if v != X {
+		t.Fatal("zero value of V3 must be X")
+	}
+}
+
+func TestAnd3TruthTable(t *testing.T) {
+	cases := []struct{ a, b, want V3 }{
+		{Zero, Zero, Zero}, {Zero, One, Zero}, {One, Zero, Zero},
+		{One, One, One},
+		{Zero, X, Zero}, {X, Zero, Zero},
+		{One, X, X}, {X, One, X}, {X, X, X},
+	}
+	for _, c := range cases {
+		if got := And3(c.a, c.b); got != c.want {
+			t.Errorf("And3(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOr3TruthTable(t *testing.T) {
+	cases := []struct{ a, b, want V3 }{
+		{Zero, Zero, Zero}, {Zero, One, One}, {One, Zero, One},
+		{One, One, One},
+		{One, X, One}, {X, One, One},
+		{Zero, X, X}, {X, Zero, X}, {X, X, X},
+	}
+	for _, c := range cases {
+		if got := Or3(c.a, c.b); got != c.want {
+			t.Errorf("Or3(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestXor3TruthTable(t *testing.T) {
+	cases := []struct{ a, b, want V3 }{
+		{Zero, Zero, Zero}, {Zero, One, One}, {One, Zero, One}, {One, One, Zero},
+		{Zero, X, X}, {X, One, X}, {X, X, X},
+	}
+	for _, c := range cases {
+		if got := Xor3(c.a, c.b); got != c.want {
+			t.Errorf("Xor3(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBitConversions(t *testing.T) {
+	if FromBit(0) != Zero || FromBit(1) != One || FromBit(2) != One {
+		t.Fatal("FromBit wrong")
+	}
+	if Zero.Bit() != 0 || One.Bit() != 1 {
+		t.Fatal("Bit wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bit on X did not panic")
+		}
+	}()
+	X.Bit()
+}
+
+func TestCompose(t *testing.T) {
+	cases := []struct {
+		good, faulty V3
+		want         V5
+	}{
+		{Zero, Zero, C0},
+		{One, One, C1},
+		{One, Zero, D},
+		{Zero, One, DBar},
+		{X, One, CX},
+		{One, X, CX},
+		{X, X, CX},
+	}
+	for _, c := range cases {
+		if got := Compose(c.good, c.faulty); got != c.want {
+			t.Errorf("Compose(%v,%v) = %v, want %v", c.good, c.faulty, got, c.want)
+		}
+	}
+}
+
+func TestV5Strings(t *testing.T) {
+	cases := map[V5]string{C0: "0", C1: "1", CX: "X", D: "D", DBar: "D'"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("V5 String() = %q, want %q", got, want)
+		}
+	}
+	if got := V5(9).String(); got != "V5(9)" {
+		t.Errorf("invalid V5 String() = %q", got)
+	}
+}
+
+func TestIsFaultEffect(t *testing.T) {
+	if !D.IsFaultEffect() || !DBar.IsFaultEffect() {
+		t.Fatal("D/DBar must be fault effects")
+	}
+	if C0.IsFaultEffect() || C1.IsFaultEffect() || CX.IsFaultEffect() {
+		t.Fatal("0/1/X must not be fault effects")
+	}
+}

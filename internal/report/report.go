@@ -1,0 +1,161 @@
+// Package report renders experiment results as plain-text tables and
+// ASCII plots in the layout of the paper's tables and Figure 1. All
+// output is deterministic so EXPERIMENTS.md can quote it verbatim.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders a fixed-width text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and column
+// headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends one row; cells render with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowCells appends pre-formatted cells.
+func (t *Table) AddRowCells(cells []string) {
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString(t.title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		var line strings.Builder
+		for i := range t.headers {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			fmt.Fprintf(&line, "%-*s", widths[i], cell)
+		}
+		sb.WriteString(strings.TrimRight(line.String(), " "))
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Series is one curve of a scatter plot.
+type Series struct {
+	// Marker is the single character plotted for this series (the
+	// paper uses o, d and z).
+	Marker byte
+	// Label is shown in the legend.
+	Label string
+	// X, Y are parallel coordinate slices.
+	X, Y []float64
+}
+
+// Plot renders an ASCII scatter plot of the given series in a
+// width x height character grid, with both axes spanning [0, 100]
+// (percent scales, as in the paper's Figure 1). Later series
+// overwrite earlier ones where markers collide.
+func Plot(title string, width, height int, series ...Series) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 5 {
+		height = 5
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	place := func(s Series) {
+		for i := range s.X {
+			col := int(s.X[i] / 100 * float64(width-1))
+			row := int(s.Y[i] / 100 * float64(height-1))
+			if col < 0 {
+				col = 0
+			}
+			if col >= width {
+				col = width - 1
+			}
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[height-1-row][col] = s.Marker
+		}
+	}
+	for _, s := range series {
+		place(s)
+	}
+
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for r, line := range grid {
+		var ylabel string
+		switch r {
+		case 0:
+			ylabel = "100%"
+		case height - 1:
+			ylabel = "  0%"
+		default:
+			ylabel = "    "
+		}
+		fmt.Fprintf(&sb, "%s |%s|\n", ylabel, string(line))
+	}
+	fmt.Fprintf(&sb, "     %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&sb, "      0%%%*s\n", width-4, "100%")
+	for _, s := range series {
+		fmt.Fprintf(&sb, "      %c - %s\n", s.Marker, s.Label)
+	}
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableBasic(t *testing.T) {
+	tb := NewTable("Table X: demo", "circuit", "tests", "ratio")
+	tb.AddRow("irs208", 42, 2.8242)
+	tb.AddRow("irs13207", 411, 1.26)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Table X: demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "circuit") {
+		t.Fatalf("header line = %q", lines[1])
+	}
+	if !strings.Contains(out, "2.82") {
+		t.Fatalf("float not rendered to 2 decimals:\n%s", out)
+	}
+	// Columns aligned: "tests" column starts at the same offset in
+	// every row.
+	idx := strings.Index(lines[1], "tests")
+	for _, ln := range lines[3:] {
+		if len(ln) <= idx {
+			t.Fatalf("row too short: %q", ln)
+		}
+	}
+}
+
+func TestTableNoTrailingSpaces(t *testing.T) {
+	tb := NewTable("", "a", "bbbb")
+	tb.AddRow("x", "y")
+	for _, ln := range strings.Split(tb.String(), "\n") {
+		if strings.HasSuffix(ln, " ") {
+			t.Fatalf("trailing space in %q", ln)
+		}
+	}
+}
+
+func TestTableAddRowCells(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRowCells([]string{"1", "-"})
+	if !strings.Contains(tb.String(), "-") {
+		t.Fatal("pre-formatted cell lost")
+	}
+}
+
+func TestPlotCorners(t *testing.T) {
+	s := Series{Marker: 'o', Label: "demo", X: []float64{0, 100}, Y: []float64{0, 100}}
+	out := Plot("curve", 40, 10, s)
+	if !strings.Contains(out, "o - demo") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Top grid row holds the (100,100) marker at the right edge; the
+	// bottom grid row holds (0,0) at the left edge.
+	var gridLines []string
+	for _, ln := range lines {
+		if strings.Contains(ln, "|") {
+			gridLines = append(gridLines, ln)
+		}
+	}
+	if len(gridLines) != 10 {
+		t.Fatalf("grid has %d rows, want 10:\n%s", len(gridLines), out)
+	}
+	top, bottom := gridLines[0], gridLines[len(gridLines)-1]
+	if !strings.Contains(top, "o|") {
+		t.Fatalf("top-right marker missing: %q", top)
+	}
+	if !strings.Contains(bottom, "|o") {
+		t.Fatalf("bottom-left marker missing: %q", bottom)
+	}
+}
+
+func TestPlotMultipleSeries(t *testing.T) {
+	a := Series{Marker: 'o', Label: "orig", X: []float64{50}, Y: []float64{50}}
+	b := Series{Marker: 'd', Label: "dynm", X: []float64{25}, Y: []float64{75}}
+	out := Plot("", 20, 8, a, b)
+	if !strings.Contains(out, "o") || !strings.Contains(out, "d") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o - orig") || !strings.Contains(out, "d - dynm") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+}
+
+func TestPlotClampsOutOfRange(t *testing.T) {
+	s := Series{Marker: 'x', Label: "wild", X: []float64{-50, 150}, Y: []float64{-10, 120}}
+	out := Plot("", 12, 6, s)
+	if !strings.Contains(out, "x") {
+		t.Fatalf("clamped points missing:\n%s", out)
+	}
+}
+
+func TestPlotMinimumDimensions(t *testing.T) {
+	s := Series{Marker: 'o', Label: "p", X: []float64{50}, Y: []float64{50}}
+	out := Plot("", 1, 1, s)
+	if !strings.Contains(out, "o") {
+		t.Fatal("plot with tiny dimensions must still render")
+	}
+}

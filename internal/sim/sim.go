@@ -1,0 +1,129 @@
+// Package sim implements fault-free (good-machine) simulation of
+// combinational circuits. Values are bit-parallel: one uint64 word per
+// gate carries 64 test patterns at once, in the transposed layout
+// produced by logic.PatternSet, so a full pattern set is simulated in
+// ceil(n/64) topological passes.
+//
+// The fault simulator (package fsim) builds on the good values
+// computed here, re-simulating only the fanout cone of each injected
+// fault.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/eda-go/adifo/internal/circuit"
+	"github.com/eda-go/adifo/internal/logic"
+)
+
+// Simulator holds per-gate word values for one circuit. It is cheap
+// to create but reusable; reuse avoids re-allocating the value array
+// for every 64-pattern block. Not safe for concurrent use.
+type Simulator struct {
+	c   *circuit.Circuit
+	val []uint64
+	// scratch fanin buffer, sized to the widest gate.
+	in []uint64
+}
+
+// New returns a Simulator for c.
+func New(c *circuit.Circuit) *Simulator {
+	maxFanin := 0
+	for _, g := range c.Gates {
+		if len(g.Fanin) > maxFanin {
+			maxFanin = len(g.Fanin)
+		}
+	}
+	return &Simulator{
+		c:   c,
+		val: make([]uint64, c.NumGates()),
+		in:  make([]uint64, maxFanin),
+	}
+}
+
+// Circuit returns the simulated circuit.
+func (s *Simulator) Circuit() *circuit.Circuit { return s.c }
+
+// SimulateBlock loads block b of ps into the primary inputs and
+// evaluates the whole circuit in topological order. After it returns,
+// Value(g) holds the good value word of every gate for the 64 patterns
+// of the block.
+func (s *Simulator) SimulateBlock(ps *logic.PatternSet, block int) {
+	if ps.Inputs() != s.c.NumInputs() {
+		panic(fmt.Sprintf("sim: pattern set has %d inputs, circuit has %d", ps.Inputs(), s.c.NumInputs()))
+	}
+	for i, piGate := range s.c.Inputs {
+		s.val[piGate] = ps.Word(i, block)
+	}
+	s.evalAll()
+}
+
+// SimulateWords loads one word per primary input (pi[i] feeds
+// Inputs[i]) and evaluates the circuit. It is the entry point used
+// when patterns are produced on the fly rather than stored in a
+// PatternSet.
+func (s *Simulator) SimulateWords(pi []uint64) {
+	if len(pi) != s.c.NumInputs() {
+		panic(fmt.Sprintf("sim: got %d input words, circuit has %d inputs", len(pi), s.c.NumInputs()))
+	}
+	for i, piGate := range s.c.Inputs {
+		s.val[piGate] = pi[i]
+	}
+	s.evalAll()
+}
+
+// SimulateVector evaluates a single fully specified vector and returns
+// the output values in circuit.Outputs order.
+func (s *Simulator) SimulateVector(v logic.Vector) []uint8 {
+	if len(v) != s.c.NumInputs() {
+		panic(fmt.Sprintf("sim: vector width %d, circuit has %d inputs", len(v), s.c.NumInputs()))
+	}
+	for i, piGate := range s.c.Inputs {
+		s.val[piGate] = uint64(v[i] & 1)
+	}
+	s.evalAll()
+	out := make([]uint8, s.c.NumOutputs())
+	for i, og := range s.c.Outputs {
+		out[i] = uint8(s.val[og] & 1)
+	}
+	return out
+}
+
+func (s *Simulator) evalAll() {
+	c := s.c
+	for _, gi := range c.Topo {
+		g := &c.Gates[gi]
+		if g.Type == circuit.PI {
+			continue
+		}
+		in := s.in[:len(g.Fanin)]
+		for k, f := range g.Fanin {
+			in[k] = s.val[f]
+		}
+		s.val[gi] = circuit.EvalWord(g.Type, in)
+	}
+}
+
+// Value returns the current word value of gate g (valid after a
+// Simulate call).
+func (s *Simulator) Value(g int) uint64 { return s.val[g] }
+
+// Values returns the underlying value slice, indexed by gate id. The
+// fault simulator reads it directly; callers must treat it as
+// read-only and must not retain it across Simulate calls.
+func (s *Simulator) Values() []uint64 { return s.val }
+
+// OutputWords returns the output value words in circuit.Outputs order.
+func (s *Simulator) OutputWords() []uint64 {
+	out := make([]uint64, s.c.NumOutputs())
+	for i, og := range s.c.Outputs {
+		out[i] = s.val[og]
+	}
+	return out
+}
+
+// Eval is a convenience one-shot scalar evaluator used by tests and
+// examples: it returns the output bits of c under vector v.
+func Eval(c *circuit.Circuit, v logic.Vector) []uint8 {
+	return New(c).SimulateVector(v)
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/eda-go/adifo/internal/circuit"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/prng"
+)
+
+func buildMux(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("mux")
+	a := b.AddInput("a")
+	bb := b.AddInput("b")
+	s := b.AddInput("s")
+	ns := b.AddGate("ns", circuit.Not, s)
+	t0 := b.AddGate("t0", circuit.And, a, ns)
+	t1 := b.AddGate("t1", circuit.And, bb, s)
+	y := b.AddGate("y", circuit.Or, t0, t1)
+	b.MarkOutput(y)
+	c, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMuxTruthTable(t *testing.T) {
+	c := buildMux(t)
+	s := New(c)
+	for a := uint8(0); a <= 1; a++ {
+		for b := uint8(0); b <= 1; b++ {
+			for sel := uint8(0); sel <= 1; sel++ {
+				out := s.SimulateVector(logic.Vector{a, b, sel})
+				want := a
+				if sel == 1 {
+					want = b
+				}
+				if out[0] != want {
+					t.Fatalf("mux(%d,%d,%d) = %d, want %d", a, b, sel, out[0], want)
+				}
+			}
+		}
+	}
+}
+
+// naiveEval recomputes one gate value recursively per pattern; it is
+// the reference against which the word-parallel simulator is checked.
+func naiveEval(c *circuit.Circuit, v logic.Vector, g int, memo map[int]uint8) uint8 {
+	if val, ok := memo[g]; ok {
+		return val
+	}
+	gate := c.Gates[g]
+	var out uint8
+	if gate.Type == circuit.PI {
+		out = v[c.InputIndex[g]]
+	} else {
+		in := make([]uint64, len(gate.Fanin))
+		for i, f := range gate.Fanin {
+			in[i] = uint64(naiveEval(c, v, f, memo))
+		}
+		out = uint8(circuit.EvalWord(gate.Type, in) & 1)
+	}
+	memo[g] = out
+	return out
+}
+
+func TestBlockSimMatchesNaive(t *testing.T) {
+	c := buildMux(t)
+	ps := logic.RandomPatterns(c.NumInputs(), 200, prng.New(11))
+	s := New(c)
+	for block := 0; block < ps.Blocks(); block++ {
+		s.SimulateBlock(ps, block)
+		mask := ps.BlockMask(block)
+		for bit := 0; bit < logic.WordBits; bit++ {
+			if mask>>uint(bit)&1 == 0 {
+				continue
+			}
+			v := ps.Get(block*logic.WordBits + bit)
+			memo := map[int]uint8{}
+			for gi := range c.Gates {
+				want := naiveEval(c, v, gi, memo)
+				got := uint8(s.Value(gi) >> uint(bit) & 1)
+				if got != want {
+					t.Fatalf("block %d bit %d gate %d: got %d want %d", block, bit, gi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSimulateWords(t *testing.T) {
+	c := buildMux(t)
+	s := New(c)
+	// a=all ones, b=all zeros, sel alternating.
+	s.SimulateWords([]uint64{^uint64(0), 0, 0xAAAAAAAAAAAAAAAA})
+	// With sel=0 -> y=a=1; sel=1 -> y=b=0. So y = ^sel pattern.
+	want := ^uint64(0xAAAAAAAAAAAAAAAA)
+	if got := s.OutputWords()[0]; got != want {
+		t.Fatalf("y = %x, want %x", got, want)
+	}
+}
+
+func TestEvalConvenience(t *testing.T) {
+	c := buildMux(t)
+	out := Eval(c, logic.Vector{1, 0, 0})
+	if out[0] != 1 {
+		t.Fatalf("Eval = %v", out)
+	}
+}
+
+func TestSimulatorPanicsOnWidthMismatch(t *testing.T) {
+	c := buildMux(t)
+	s := New(c)
+	for _, fn := range []func(){
+		func() { s.SimulateVector(logic.Vector{0, 1}) },
+		func() { s.SimulateWords([]uint64{0}) },
+		func() { s.SimulateBlock(logic.NewPatternSet(1), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on width mismatch")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestXorTreeParity(t *testing.T) {
+	b := circuit.NewBuilder("parity")
+	var ins []int
+	for i := 0; i < 5; i++ {
+		ins = append(ins, b.AddInput(string(rune('a'+i))))
+	}
+	x1 := b.AddGate("x1", circuit.Xor, ins[0], ins[1])
+	x2 := b.AddGate("x2", circuit.Xor, x1, ins[2])
+	x3 := b.AddGate("x3", circuit.Xor, x2, ins[3])
+	x4 := b.AddGate("x4", circuit.Xor, x3, ins[4])
+	b.MarkOutput(x4)
+	c, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	for pat := 0; pat < 32; pat++ {
+		v := logic.VectorFromDecimal(uint64(pat), 5)
+		parity := uint8(0)
+		for _, bit := range v {
+			parity ^= bit
+		}
+		if got := s.SimulateVector(v)[0]; got != parity {
+			t.Fatalf("parity(%05b) = %d, want %d", pat, got, parity)
+		}
+	}
+}
+
+func BenchmarkSimulateBlock(b *testing.B) {
+	bl := circuit.NewBuilder("chain")
+	prev := bl.AddInput("in")
+	x := bl.AddInput("x")
+	for i := 0; i < 1000; i++ {
+		prev = bl.AddGate(benchName(i), circuit.Nand, prev, x)
+	}
+	bl.MarkOutput(prev)
+	c, err := bl.Freeze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := logic.RandomPatterns(2, 64, prng.New(1))
+	s := New(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SimulateBlock(ps, 0)
+	}
+}
+
+func benchName(i int) string {
+	return "g" + string(rune('0'+i/100%10)) + string(rune('0'+i/10%10)) + string(rune('0'+i%10))
+}

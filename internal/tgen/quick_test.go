@@ -1,0 +1,56 @@
+package tgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/eda-go/adifo/internal/fault"
+	"github.com/eda-go/adifo/internal/fsim"
+	"github.com/eda-go/adifo/internal/gen"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/prng"
+)
+
+// Property: for arbitrary generated circuits and arbitrary fault
+// orders, the flow's bookkeeping is self-consistent and the final
+// test set, re-simulated from scratch, detects exactly the faults the
+// driver reported.
+func TestQuickGenerateSelfConsistent(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := gen.Generate(gen.Config{Name: "q", Inputs: 7, Gates: 45, Seed: seed})
+		fl := fault.CollapsedUniverse(c)
+		order := prng.New(seed ^ 0x5eed).Perm(fl.Len())
+		r := Generate(fl, order, Options{FillSeed: seed, Validate: true})
+
+		// Curve strictly increasing, final value == Detected().
+		prev := 0
+		for _, n := range r.Curve {
+			if n <= prev {
+				return false
+			}
+			prev = n
+		}
+		if prev != r.Detected() {
+			return false
+		}
+		// Accounting: detected + redundant + aborted-or-missed == all.
+		if r.Detected()+len(r.Redundant) > fl.Len() {
+			return false
+		}
+		// Resimulation agreement.
+		ps := logic.NewPatternSet(c.NumInputs())
+		for _, v := range r.Tests {
+			ps.Append(v)
+		}
+		if ps.Len() > 0 {
+			res := fsim.Run(fl, ps, fsim.Options{Mode: fsim.Drop})
+			if res.DetectedCount() != r.Detected() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
