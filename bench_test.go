@@ -18,6 +18,7 @@ import (
 
 	"github.com/eda-go/adifo/internal/experiments"
 	"github.com/eda-go/adifo/internal/gen"
+	"github.com/eda-go/adifo/internal/service"
 )
 
 // benchSuite resolves the circuit suite from ADIFO_SUITE.
@@ -151,6 +152,59 @@ func BenchmarkGenerationRuns(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServiceThroughput measures the fault-grading service end
+// to end (library-level, no HTTP): repeated no-drop grading jobs over
+// a mix of circuits and pattern seeds, flowing through the registry
+// caches and the sharded parallel simulator. After the first pass the
+// circuit and good-machine caches are warm, which is exactly the
+// serving regime the service exists for; the per-op time is the
+// steady-state cost of one grading request.
+func BenchmarkServiceThroughput(b *testing.B) {
+	svc := service.New(service.Config{MaxConcurrentJobs: 4})
+	specs := []service.JobSpec{
+		{Circuit: "c17", Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 512, Seed: 1}}},
+		{Circuit: "s27", Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 512, Seed: 2}}},
+		{Circuit: "lion", Patterns: service.PatternSpec{Exhaustive: true}},
+		{Circuit: "irs208", Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 512, Seed: 3}}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids := make([]string, len(specs))
+		for k, spec := range specs {
+			id, err := svc.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[k] = id
+		}
+		for _, id := range ids {
+			// Block on the progress channel close instead of polling, so
+			// the harness does not steal CPU from the simulation workers
+			// it is measuring.
+			if ch, cancel, ok := svc.Subscribe(id); ok {
+				for range ch {
+				}
+				cancel()
+			}
+			st, ok := svc.Status(id)
+			if !ok {
+				b.Fatalf("job %s vanished", id)
+			}
+			if st.State != service.StateDone {
+				b.Fatalf("job %s %s: %s", id, st.State, st.Error)
+			}
+		}
+	}
+	b.StopTimer()
+	st := svc.Stats()
+	b.ReportMetric(float64(len(specs)), "jobs/op")
+	fmt.Printf("service caches after %d jobs: %d/%d circuit hits, %d/%d good hits\n",
+		st.JobsDone,
+		st.Registry.CircuitHits, st.Registry.CircuitHits+st.Registry.CircuitMisses,
+		st.Registry.GoodHits, st.Registry.GoodHits+st.Registry.GoodMisses)
+	svc.Close()
 }
 
 // BenchmarkAblation runs the design-choice ablations of DESIGN.md:

@@ -1,6 +1,7 @@
 // Command adifo is the Swiss-army tool of the library: circuit
-// statistics, fault listing, ADI computation and fault-order
-// inspection on any circuit.
+// statistics, fault listing, ADI computation, fault-order inspection
+// and fault grading (local or against an adifod server) on any
+// circuit.
 //
 // Usage:
 //
@@ -8,20 +9,29 @@
 //	adifo faults -circuit c17
 //	adifo adi    -circuit lion -exhaustive
 //	adifo order  -circuit lion -exhaustive -order dynm
+//	adifo grade  -circuit c17 -mode drop -n 256
+//	adifo grade  -server http://localhost:8417 -circuit my.bench
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"github.com/eda-go/adifo/internal/adi"
+	"github.com/eda-go/adifo/internal/benchdata"
 	"github.com/eda-go/adifo/internal/cli"
 	"github.com/eda-go/adifo/internal/experiments"
 	"github.com/eda-go/adifo/internal/fault"
 	"github.com/eda-go/adifo/internal/fsim"
+	"github.com/eda-go/adifo/internal/gen"
 	"github.com/eda-go/adifo/internal/logic"
 	"github.com/eda-go/adifo/internal/prng"
+	"github.com/eda-go/adifo/internal/service"
+	"github.com/eda-go/adifo/internal/service/client"
 )
 
 func usage() {
@@ -32,13 +42,35 @@ commands:
   faults   list the collapsed stuck-at fault set
   adi      compute accidental detection indices
   order    print a fault order
+  grade    fault-grade a circuit via the grading service
 
 common flags:
   -circuit ref   embedded name (c17, s27, lion), suite name, or .bench path
   -exhaustive    use all 2^inputs vectors for U (inputs <= 20)
   -n, -seed      random vector count / seed for U
+
+grade flags:
+  -server url    adifod server to grade on (default: in-process)
+  -mode m        nodrop, drop or ndetect
+  -ndet k        drop threshold for ndetect mode
+  -quiet         suppress per-block progress lines
 `)
 	os.Exit(2)
+}
+
+// options collects every flag; each verb reads the subset it needs.
+type options struct {
+	circuit    string
+	exhaustive bool
+	n          int
+	seed       uint64
+	order      string
+	limit      int
+
+	server string
+	mode   string
+	ndet   int
+	quiet  bool
 }
 
 func main() {
@@ -47,24 +79,30 @@ func main() {
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	var (
-		ref        = fs.String("circuit", "c17", "circuit reference")
-		exhaustive = fs.Bool("exhaustive", false, "use all 2^inputs vectors")
-		n          = fs.Int("n", experiments.MaxRandomVectors, "random vector budget for U")
-		seed       = fs.Uint64("seed", experiments.USeed, "random vector seed")
-		orderName  = fs.String("order", "dynm", "fault order to print")
-		limit      = fs.Int("limit", 0, "print at most this many rows (0 = all)")
-	)
+	var o options
+	fs.StringVar(&o.circuit, "circuit", "c17", "circuit reference")
+	fs.BoolVar(&o.exhaustive, "exhaustive", false, "use all 2^inputs vectors")
+	fs.IntVar(&o.n, "n", experiments.MaxRandomVectors, "random vector budget for U")
+	fs.Uint64Var(&o.seed, "seed", experiments.USeed, "random vector seed")
+	fs.StringVar(&o.order, "order", "dynm", "fault order to print")
+	fs.IntVar(&o.limit, "limit", 0, "print at most this many rows (0 = all)")
+	fs.StringVar(&o.server, "server", "", "adifod server URL (empty = grade in-process)")
+	fs.StringVar(&o.mode, "mode", "nodrop", "grading mode: nodrop, drop or ndetect")
+	fs.IntVar(&o.ndet, "ndet", 0, "drop threshold for ndetect mode")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress per-block progress lines")
 	fs.Parse(os.Args[2:])
 
-	if err := run(cmd, *ref, *exhaustive, *n, *seed, *orderName, *limit); err != nil {
+	if err := run(cmd, o); err != nil {
 		fmt.Fprintln(os.Stderr, "adifo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd, ref string, exhaustive bool, n int, seed uint64, orderName string, limit int) error {
-	c, err := cli.LoadCircuit(ref)
+func run(cmd string, o options) error {
+	if cmd == "grade" {
+		return grade(o, os.Stdout)
+	}
+	c, err := cli.LoadCircuit(o.circuit)
 	if err != nil {
 		return err
 	}
@@ -86,7 +124,7 @@ func run(cmd, ref string, exhaustive bool, n int, seed uint64, orderName string,
 	case "faults":
 		fl := fault.CollapsedUniverse(c)
 		for i, f := range fl.Faults {
-			if limit > 0 && i >= limit {
+			if o.limit > 0 && i >= o.limit {
 				fmt.Printf("... (%d more)\n", fl.Len()-i)
 				break
 			}
@@ -96,14 +134,14 @@ func run(cmd, ref string, exhaustive bool, n int, seed uint64, orderName string,
 
 	case "adi", "order":
 		fl := fault.CollapsedUniverse(c)
-		u := vectorSet(c, fl, exhaustive, n, seed)
+		u := vectorSet(c, fl, o.exhaustive, o.n, o.seed)
 		ix := adi.Compute(fl, u)
 		mn, mx := ix.MinMax()
 		fmt.Printf("U %d vectors; |F_U| = %d of %d faults; ADImin=%d ADImax=%d ratio=%.2f\n",
 			u.Len(), ix.NumDetected(), fl.Len(), mn, mx, ix.Ratio())
 		if cmd == "adi" {
 			for i, f := range fl.Faults {
-				if limit > 0 && i >= limit {
+				if o.limit > 0 && i >= o.limit {
 					fmt.Printf("... (%d more)\n", fl.Len()-i)
 					break
 				}
@@ -111,14 +149,14 @@ func run(cmd, ref string, exhaustive bool, n int, seed uint64, orderName string,
 			}
 			return nil
 		}
-		kind, err := cli.ParseOrder(orderName)
+		kind, err := cli.ParseOrder(o.order)
 		if err != nil {
 			return err
 		}
 		ord := ix.Order(kind)
 		fmt.Printf("order %v:\n", kind)
 		for pos, fi := range ord {
-			if limit > 0 && pos >= limit {
+			if o.limit > 0 && pos >= o.limit {
 				fmt.Printf("... (%d more)\n", len(ord)-pos)
 				break
 			}
@@ -128,6 +166,100 @@ func run(cmd, ref string, exhaustive bool, n int, seed uint64, orderName string,
 	}
 	usage()
 	return nil
+}
+
+// grade submits the circuit to a grading service — a running adifod
+// when -server is set, otherwise one spun up in-process on a loopback
+// listener so the exact same client/server path is exercised — streams
+// per-block progress and prints the result summary.
+func grade(o options, out *os.File) error {
+	ctx := context.Background()
+
+	base := o.server
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		svc := service.New(service.Config{})
+		go http.Serve(ln, svc.Handler())
+		base = "http://" + ln.Addr().String()
+	}
+	cl := client.New(base, nil)
+
+	spec, err := gradeSpec(o)
+	if err != nil {
+		return err
+	}
+	id, err := cl.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "job %s submitted to %s\n", id, base)
+
+	st, err := cl.Stream(ctx, id, func(ev service.ProgressEvent) {
+		if !o.quiet {
+			fmt.Fprintf(out, "block %d/%d: %d vectors, %d detected, %d active\n",
+				ev.Block+1, ev.Blocks, ev.VectorsUsed, ev.Detected, ev.Active)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if st.State != service.StateDone {
+		return fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+	}
+	res, err := cl.Result(ctx, id)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "circuit     %s (fingerprint %s)\n", res.Circuit, res.Fingerprint)
+	fmt.Fprintf(out, "mode        %s\n", res.Mode)
+	fmt.Fprintf(out, "vectors     %d (%d simulated)\n", res.Vectors, res.VectorsUsed)
+	fmt.Fprintf(out, "faults      %d, detected %d, coverage %.2f%%\n",
+		res.Faults, res.Detected, 100*res.Coverage)
+	for i, fr := range res.PerFault {
+		if o.limit > 0 && i >= o.limit {
+			fmt.Fprintf(out, "... (%d more)\n", len(res.PerFault)-i)
+			break
+		}
+		fmt.Fprintf(out, "f%-4d det=%-5d first=%-5d %s\n", fr.F, fr.DetCount, fr.FirstDet, fr.Name)
+	}
+	return nil
+}
+
+// gradeSpec builds the job spec. Precedence matches cli.LoadCircuit:
+// an embedded or suite name wins over a same-named local file, so
+// `grade -circuit c17` always means the embedded benchmark. A
+// non-name reference is read as a .bench file and shipped as inline
+// netlist text (the server never touches the client's filesystem);
+// anything else is passed through for the server to reject.
+func gradeSpec(o options) (service.JobSpec, error) {
+	spec := service.JobSpec{Mode: o.mode, N: o.ndet}
+	if data, err := os.ReadFile(o.circuit); err == nil && !isNamedCircuit(o.circuit) {
+		spec.Bench = string(data)
+		spec.Name = o.circuit
+	} else {
+		spec.Circuit = o.circuit
+	}
+	if o.exhaustive {
+		spec.Patterns.Exhaustive = true
+	} else {
+		spec.Patterns.Random = &service.RandomSpec{N: o.n, Seed: o.seed}
+	}
+	return spec, nil
+}
+
+// isNamedCircuit reports whether ref is an embedded benchmark or
+// synthetic suite name (cheap: no circuit is built).
+func isNamedCircuit(ref string) bool {
+	if _, err := benchdata.Source(ref); err == nil {
+		return true
+	}
+	_, ok := gen.SuiteByName(ref)
+	return ok
 }
 
 func vectorSet(c interface{ NumInputs() int }, fl *fault.List, exhaustive bool, n int, seed uint64) *logic.PatternSet {

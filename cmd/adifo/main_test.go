@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestCommands(t *testing.T) {
 	cases := []struct{ cmd, circuit string }{
@@ -10,20 +14,55 @@ func TestCommands(t *testing.T) {
 		{"order", "lion"},
 	}
 	for _, c := range cases {
-		if err := run(c.cmd, c.circuit, true, 100, 1, "dynm", 5); err != nil {
+		o := options{circuit: c.circuit, exhaustive: true, n: 100, seed: 1, order: "dynm", limit: 5}
+		if err := run(c.cmd, o); err != nil {
 			t.Fatalf("%s %s: %v", c.cmd, c.circuit, err)
 		}
 	}
 }
 
+// TestGradeInProcess drives the grade verb end to end against the
+// in-process loopback server: submit, stream, result.
+func TestGradeInProcess(t *testing.T) {
+	o := options{circuit: "c17", mode: "nodrop", n: 128, seed: 1, limit: 3, quiet: true}
+	if err := run("grade", o); err != nil {
+		t.Fatalf("grade c17: %v", err)
+	}
+}
+
+// TestGradeBenchFile checks that a .bench file path is shipped as
+// inline netlist text.
+func TestGradeBenchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "toy.bench")
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := options{circuit: path, mode: "drop", exhaustive: true, quiet: true}
+	if err := run("grade", o); err != nil {
+		t.Fatalf("grade %s: %v", path, err)
+	}
+}
+
 func TestOrderBadName(t *testing.T) {
-	if err := run("order", "lion", true, 100, 1, "bogus", 0); err == nil {
+	o := options{circuit: "lion", exhaustive: true, n: 100, seed: 1, order: "bogus"}
+	if err := run("order", o); err == nil {
 		t.Fatal("expected error for unknown order")
 	}
 }
 
 func TestBadCircuit(t *testing.T) {
-	if err := run("stats", "nope", false, 10, 1, "dynm", 0); err == nil {
-		t.Fatal("expected error for unknown circuit")
+	o := options{circuit: "nope", n: 10, seed: 1, order: "dynm"}
+	if err := run("stats", o); err != nil {
+		// expected
+		return
+	}
+	t.Fatal("expected error for unknown circuit")
+}
+
+func TestGradeBadMode(t *testing.T) {
+	o := options{circuit: "c17", mode: "bogus", n: 10, seed: 1, quiet: true}
+	if err := run("grade", o); err == nil {
+		t.Fatal("expected error for unknown mode")
 	}
 }

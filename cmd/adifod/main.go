@@ -1,0 +1,48 @@
+// Command adifod serves the concurrent fault-grading API over
+// HTTP+JSON: POST a circuit (named or inline .bench) plus a pattern
+// spec to /v1/jobs, poll or stream the job, fetch per-fault detection
+// sets and ndet counts from /v1/jobs/{id}/result. Parsed circuits,
+// collapsed fault lists and good-machine simulations are cached with
+// LRU eviction, so repeat submissions of the same circuit skip
+// straight to fault grading; /v1/stats exposes the cache counters.
+//
+// Usage:
+//
+//	adifod -addr :8417 -jobs 4 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/eda-go/adifo/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8417", "listen address")
+		jobs         = flag.Int("jobs", 0, "max concurrent grading jobs (0 = default)")
+		workers      = flag.Int("workers", 0, "shard workers per job (0 = GOMAXPROCS)")
+		circuitCache = flag.Int("circuit-cache", 0, "circuit registry LRU capacity (0 = default)")
+		goodCache    = flag.Int("good-cache", 0, "good-machine cache LRU capacity (0 = default)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "adifod: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	svc := service.New(service.Config{
+		SimWorkers:        *workers,
+		MaxConcurrentJobs: *jobs,
+		CircuitCache:      *circuitCache,
+		GoodCache:         *goodCache,
+	})
+	log.Printf("adifod listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		log.Fatalf("adifod: %v", err)
+	}
+}

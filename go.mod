@@ -1,0 +1,3 @@
+module github.com/eda-go/adifo
+
+go 1.24

@@ -1,0 +1,44 @@
+package circuit
+
+// Fingerprint returns a 64-bit FNV-1a hash over the structural content
+// of the circuit: gate types, fanin wiring, input/output lists and the
+// circuit name. Two circuits with the same fingerprint are, for cache
+// purposes, the same netlist; the service registry uses it to key
+// parsed circuits so repeat submissions skip parsing, levelization and
+// fault collapsing. Signal names other than the circuit name do not
+// contribute — renaming internal nets does not change the simulation.
+func (c *Circuit) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for i := 0; i < len(c.Name); i++ {
+		h ^= uint64(c.Name[i])
+		h *= prime64
+	}
+	mix(uint64(len(c.Gates)))
+	for _, g := range c.Gates {
+		mix(uint64(g.Type))
+		mix(uint64(len(g.Fanin)))
+		for _, f := range g.Fanin {
+			mix(uint64(f))
+		}
+	}
+	mix(uint64(len(c.Inputs)))
+	for _, g := range c.Inputs {
+		mix(uint64(g))
+	}
+	mix(uint64(len(c.Outputs)))
+	for _, g := range c.Outputs {
+		mix(uint64(g))
+	}
+	return h
+}

@@ -1,0 +1,49 @@
+package circuit
+
+import "testing"
+
+func buildFP(name string, outType GateType) *Circuit {
+	b := NewBuilder(name)
+	a := b.AddInput("a")
+	bb := b.AddInput("b")
+	g := b.AddGate("g", outType, a, bb)
+	b.MarkOutput(g)
+	c, err := b.Freeze()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestFingerprintStable(t *testing.T) {
+	c1 := buildFP("fp", And)
+	c2 := buildFP("fp", And)
+	if c1.Fingerprint() != c2.Fingerprint() {
+		t.Fatal("identical circuits have different fingerprints")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := buildFP("fp", And)
+	if buildFP("fp", Or).Fingerprint() == base.Fingerprint() {
+		t.Fatal("gate-type change not reflected in fingerprint")
+	}
+	if buildFP("fp2", And).Fingerprint() == base.Fingerprint() {
+		t.Fatal("name change not reflected in fingerprint")
+	}
+
+	// Extra gate changes the structure.
+	b := NewBuilder("fp")
+	a := b.AddInput("a")
+	bb := b.AddInput("b")
+	g := b.AddGate("g", And, a, bb)
+	h := b.AddGate("h", Not, g)
+	b.MarkOutput(h)
+	c, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == base.Fingerprint() {
+		t.Fatal("structural change not reflected in fingerprint")
+	}
+}

@@ -15,13 +15,16 @@ import (
 	"github.com/eda-go/adifo/internal/irr"
 )
 
-// LoadCircuit resolves a circuit reference, trying in order:
+// LoadNamedCircuit resolves a circuit name without touching the
+// filesystem, trying in order:
 //
 //  1. an embedded benchmark name (c17, s27, lion);
 //  2. a synthetic suite name (irs208 … irs13207), generated and made
-//     irredundant exactly as the experiments do;
-//  3. a path to a .bench file.
-func LoadCircuit(ref string) (*circuit.Circuit, error) {
+//     irredundant exactly as the experiments do.
+//
+// The fault-grading service uses it to resolve named circuits from
+// requests, which must never read server-local files.
+func LoadNamedCircuit(ref string) (*circuit.Circuit, error) {
 	if c, err := benchdata.Load(ref); err == nil {
 		return c, nil
 	}
@@ -31,6 +34,15 @@ func LoadCircuit(ref string) (*circuit.Circuit, error) {
 		if err != nil {
 			return nil, fmt.Errorf("building %s: %w", ref, err)
 		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("%q is neither an embedded circuit (%v) nor a suite name", ref, benchdata.Names())
+}
+
+// LoadCircuit resolves a circuit reference like LoadNamedCircuit, with
+// a final fallback to a path to a .bench file.
+func LoadCircuit(ref string) (*circuit.Circuit, error) {
+	if c, err := LoadNamedCircuit(ref); err == nil {
 		return c, nil
 	}
 	f, err := os.Open(ref)

@@ -1,0 +1,72 @@
+package fault
+
+// ActiveSet is the ordered index list of not-yet-dropped faults used
+// by the dropping simulation modes. It exists so that jobs sharing one
+// cached (read-only) List each carry their own drop state: the List is
+// never mutated, the ActiveSet is private to a run, and resetting or
+// snapshotting it costs O(active) instead of re-collapsing the fault
+// universe.
+//
+// The zero value is not useful; construct with NewActiveSet.
+type ActiveSet struct {
+	n   int
+	idx []int
+}
+
+// NewActiveSet returns an active set over faults 0..n-1, all active.
+func NewActiveSet(n int) *ActiveSet {
+	a := &ActiveSet{n: n, idx: make([]int, n)}
+	for i := range a.idx {
+		a.idx[i] = i
+	}
+	return a
+}
+
+// Len returns the number of currently active faults.
+func (a *ActiveSet) Len() int { return len(a.idx) }
+
+// Universe returns the size of the underlying fault universe (the
+// value passed to NewActiveSet), independent of how many faults have
+// been dropped.
+func (a *ActiveSet) Universe() int { return a.n }
+
+// Indices returns the active fault indices in increasing order. The
+// slice is a view into the set's storage: it is valid until the next
+// Compact or Reset and must not be modified by the caller.
+func (a *ActiveSet) Indices() []int { return a.idx }
+
+// Compact drops every active fault whose position p (an index into
+// Indices, not a fault index) has keep[p] == false, preserving the
+// relative order of the survivors. It returns the number of faults
+// dropped. keep must cover at least Len() positions.
+func (a *ActiveSet) Compact(keep []bool) int {
+	w := 0
+	for p, fi := range a.idx {
+		if keep[p] {
+			a.idx[w] = fi
+			w++
+		}
+	}
+	dropped := len(a.idx) - w
+	a.idx = a.idx[:w]
+	return dropped
+}
+
+// Reset restores all faults of the universe to active, reusing the
+// existing storage.
+func (a *ActiveSet) Reset() {
+	if cap(a.idx) < a.n {
+		a.idx = make([]int, a.n)
+	}
+	a.idx = a.idx[:a.n]
+	for i := range a.idx {
+		a.idx[i] = i
+	}
+}
+
+// Snapshot returns an independent copy of the set; compacting or
+// resetting one does not affect the other. Sharded runs use it to
+// branch drop state without re-enumerating faults.
+func (a *ActiveSet) Snapshot() *ActiveSet {
+	return &ActiveSet{n: a.n, idx: append([]int(nil), a.idx...)}
+}

@@ -1,0 +1,62 @@
+package fault
+
+import "testing"
+
+func TestActiveSetCompactReset(t *testing.T) {
+	a := NewActiveSet(5)
+	if a.Len() != 5 || a.Universe() != 5 {
+		t.Fatalf("new set: Len=%d Universe=%d", a.Len(), a.Universe())
+	}
+	dropped := a.Compact([]bool{true, false, true, false, true})
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	want := []int{0, 2, 4}
+	got := a.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+	a.Reset()
+	if a.Len() != 5 {
+		t.Fatalf("after Reset: Len = %d, want 5", a.Len())
+	}
+	for i, fi := range a.Indices() {
+		if fi != i {
+			t.Fatalf("after Reset: Indices[%d] = %d", i, fi)
+		}
+	}
+}
+
+func TestActiveSetSnapshotIndependent(t *testing.T) {
+	a := NewActiveSet(4)
+	a.Compact([]bool{true, true, false, false}) // {0, 1}
+	s := a.Snapshot()
+	a.Compact([]bool{false, true}) // a = {1}
+	if s.Len() != 2 || s.Indices()[0] != 0 || s.Indices()[1] != 1 {
+		t.Fatalf("snapshot mutated by Compact on original: %v", s.Indices())
+	}
+	if a.Len() != 1 || a.Indices()[0] != 1 {
+		t.Fatalf("original = %v, want [1]", a.Indices())
+	}
+	// A snapshot taken after drops can still Reset to the full universe.
+	s.Reset()
+	if s.Len() != 4 {
+		t.Fatalf("snapshot Reset: Len = %d, want 4", s.Len())
+	}
+}
+
+func TestActiveSetEmptyUniverse(t *testing.T) {
+	a := NewActiveSet(0)
+	if a.Len() != 0 {
+		t.Fatalf("empty universe: Len = %d", a.Len())
+	}
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatalf("empty universe after Reset: Len = %d", a.Len())
+	}
+}

@@ -26,6 +26,34 @@ const (
 	NDetect
 )
 
+// String returns the canonical lower-case mode name used by the CLI
+// flags and the service wire format.
+func (m Mode) String() string {
+	switch m {
+	case NoDrop:
+		return "nodrop"
+	case Drop:
+		return "drop"
+	case NDetect:
+		return "ndetect"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode maps a mode name (as produced by Mode.String) back to its
+// Mode value.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "nodrop", "":
+		return NoDrop, nil
+	case "drop":
+		return Drop, nil
+	case "ndetect":
+		return NDetect, nil
+	}
+	return 0, fmt.Errorf("fsim: unknown mode %q (want nodrop, drop or ndetect)", name)
+}
+
 // Options configures a batch run.
 type Options struct {
 	Mode Mode

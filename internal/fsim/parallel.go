@@ -1,32 +1,125 @@
 package fsim
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
+	"github.com/eda-go/adifo/internal/circuit"
 	"github.com/eda-go/adifo/internal/fault"
 	"github.com/eda-go/adifo/internal/logic"
 	"github.com/eda-go/adifo/internal/sim"
 )
 
-// RunParallel is Run with the per-fault cone re-simulation spread
-// across worker goroutines. Each worker owns a private engine (the
-// good-machine values are shared read-only), faults are partitioned
-// into contiguous chunks, and the per-vector ndet counters are merged
-// after every block, so the result is bit-for-bit identical to the
-// sequential Run.
-//
-// Only NoDrop mode is supported: it is the expensive mode (the ADI
-// computation simulates every fault against every vector) and the one
-// with no cross-fault control dependence. The dropping modes are
-// cheap precisely because they shrink the active list, which is a
-// sequential decision; parallelizing them would either change the
-// drop points or serialize on the shared list.
+// Good holds precomputed good-machine value words for every 64-pattern
+// block of one (circuit, pattern set) pair. Computing it once and
+// sharing it read-only lets repeated fault-grading runs over the same
+// inputs — and all workers inside one run — skip the good simulation
+// entirely; the service registry caches Good values under LRU
+// eviction.
+type Good struct {
+	c      *circuit.Circuit
+	ps     *logic.PatternSet
+	blocks [][]uint64
+}
+
+// ComputeGood simulates the fault-free circuit against every block of
+// ps and stores the per-gate value words.
+func ComputeGood(c *circuit.Circuit, ps *logic.PatternSet) *Good {
+	if ps.Inputs() != c.NumInputs() {
+		panic(fmt.Sprintf("fsim: pattern set has %d inputs, circuit has %d", ps.Inputs(), c.NumInputs()))
+	}
+	gs := sim.New(c)
+	g := &Good{c: c, ps: ps, blocks: make([][]uint64, ps.Blocks())}
+	for b := range g.blocks {
+		gs.SimulateBlock(ps, b)
+		g.blocks[b] = append([]uint64(nil), gs.Values()...)
+	}
+	return g
+}
+
+// Circuit returns the circuit the values were computed on.
+func (g *Good) Circuit() *circuit.Circuit { return g.c }
+
+// Patterns returns the pattern set the values were computed against.
+func (g *Good) Patterns() *logic.PatternSet { return g.ps }
+
+// Block returns the per-gate good value words of block b. Callers must
+// treat the slice as read-only.
+func (g *Good) Block(b int) []uint64 { return g.blocks[b] }
+
+// Bytes returns the approximate memory footprint of the stored
+// values, for capacity planning and diagnostics (the registry's LRU
+// bounds entry count, not bytes; size a cache with Bytes in mind).
+func (g *Good) Bytes() int { return len(g.blocks) * g.c.NumGates() * 8 }
+
+// Progress is a per-block snapshot of a running batch simulation,
+// delivered at each block barrier.
+type Progress struct {
+	Block       int // index of the block just finished
+	Blocks      int // total blocks in the pattern set
+	VectorsUsed int // vectors simulated so far
+	Detected    int // faults detected at least once so far
+	Active      int // faults still active after this block's drops
+}
+
+// ParallelOptions configures RunParallelWith. The embedded Options
+// select the dropping policy exactly as for the sequential Run.
+type ParallelOptions struct {
+	Options
+
+	// Workers is the number of simulation goroutines; <= 0 means
+	// GOMAXPROCS. The worker count never changes results, only speed.
+	Workers int
+
+	// Good, when non-nil, supplies precomputed good-machine values for
+	// (fl.Circuit, ps); it must have been computed on exactly that
+	// pair. When nil the good machine is simulated on the fly.
+	Good *Good
+
+	// Progress, when non-nil, is called after every block barrier with
+	// the run's state. It is called from the coordinating goroutine,
+	// never concurrently.
+	Progress func(Progress)
+}
+
+// RunParallel is Run in NoDrop mode with the per-fault cone
+// re-simulation spread across worker goroutines. Kept as the
+// historical entry point; it is RunParallelWith with default options.
 func RunParallel(fl *fault.List, ps *logic.PatternSet, workers int) *Result {
+	return RunParallelWith(fl, ps, ParallelOptions{Workers: workers})
+}
+
+// RunParallelWith simulates every fault of fl against ps under the
+// given options with a pool of workers, in any of the three modes.
+// Results are bit-for-bit identical to the sequential Run: workers
+// simulate one 64-pattern block independently over disjoint shards of
+// the active list, then synchronize at the block barrier where
+// detections are merged, per-vector ndet counters are summed and the
+// shared active list is compacted (drop reconciliation). Dropping
+// decisions are per-fault — a fault drops when its own detection count
+// crosses the mode threshold — so deferring the list shrink to the
+// barrier changes nothing about which vectors count, only when the
+// bookkeeping happens.
+//
+// fl is never mutated and may be shared (cached) across concurrent
+// runs; each run carries its drop state in a private fault.ActiveSet.
+func RunParallelWith(fl *fault.List, ps *logic.PatternSet, po ParallelOptions) *Result {
 	c := fl.Circuit
 	if ps.Inputs() != c.NumInputs() {
 		panic("fsim: pattern set width mismatch")
 	}
+	if po.Mode == NDetect && po.N <= 0 {
+		panic("fsim: NDetect mode requires Options.N > 0")
+	}
+	// The Good cache is keyed by deterministic (circuit, pattern spec)
+	// keys, so content equality of the pattern sets is the caller's
+	// contract; only the cheap structural mismatches are caught here.
+	if po.Good != nil && (po.Good.c != c ||
+		po.Good.ps.Len() != ps.Len() || po.Good.ps.Inputs() != ps.Inputs()) {
+		panic("fsim: ParallelOptions.Good computed on a different circuit or pattern set")
+	}
+	workers := po.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -34,8 +127,8 @@ func RunParallel(fl *fault.List, ps *logic.PatternSet, workers int) *Result {
 	if workers > nf {
 		workers = nf
 	}
-	if workers <= 1 {
-		return Run(fl, ps, Options{Mode: NoDrop})
+	if workers < 1 {
+		workers = 1
 	}
 
 	r := &Result{
@@ -43,38 +136,57 @@ func RunParallel(fl *fault.List, ps *logic.PatternSet, workers int) *Result {
 		DetCount: make([]int, nf),
 		FirstDet: make([]int, nf),
 		Ndet:     make([]int, ps.Len()),
-		Det:      make([]*logic.Bitset, nf),
 	}
 	for i := range r.FirstDet {
 		r.FirstDet[i] = -1
 	}
-	for i := range r.Det {
-		r.Det[i] = logic.NewBitset(ps.Len())
+	if po.Mode == NoDrop || po.Mode == NDetect {
+		r.Det = make([]*logic.Bitset, nf)
+		for i := range r.Det {
+			r.Det[i] = logic.NewBitset(ps.Len())
+		}
 	}
 
-	gs := sim.New(c)
+	var gs *sim.Simulator
+	if po.Good == nil {
+		gs = sim.New(c)
+	}
 	engines := make([]*engine, workers)
 	for w := range engines {
-		engines[w] = newEngine(c, gs.Values())
+		engines[w] = newEngine(c, nil)
 	}
-	// Per-worker ndet accumulators, merged per block (Ndet is the
-	// only cross-fault shared state).
+	// Per-worker accumulators, merged at the block barrier: ndet is
+	// the only cross-fault shared counter, newDet feeds the running
+	// detected count used by StopAtCoverage and Progress.
 	ndetLocal := make([][]int, workers)
 	for w := range ndetLocal {
 		ndetLocal[w] = make([]int, logic.WordBits)
 	}
+	newDet := make([]int, workers)
 
-	chunk := (nf + workers - 1) / workers
+	active := fault.NewActiveSet(nf)
+	keep := make([]bool, nf) // keep[p] decided by position in the active list
+	detected := 0
+
 	var wg sync.WaitGroup
 	for block := 0; block < ps.Blocks(); block++ {
-		gs.SimulateBlock(ps, block)
+		var goodVals []uint64
+		if po.Good != nil {
+			goodVals = po.Good.Block(block)
+		} else {
+			gs.SimulateBlock(ps, block)
+			goodVals = gs.Values()
+		}
 		mask := ps.BlockMask(block)
 		base := block * logic.WordBits
 
+		act := active.Indices()
+		n := len(act)
+		chunk := (n + workers - 1) / workers
 		for w := 0; w < workers; w++ {
 			lo, hi := w*chunk, (w+1)*chunk
-			if hi > nf {
-				hi = nf
+			if hi > n {
+				hi = n
 			}
 			if lo >= hi {
 				continue
@@ -83,35 +195,82 @@ func RunParallel(fl *fault.List, ps *logic.PatternSet, workers int) *Result {
 			go func(w, lo, hi int) {
 				defer wg.Done()
 				e := engines[w]
+				e.good = goodVals
 				local := ndetLocal[w]
-				for i := range local {
-					local[i] = 0
-				}
-				for fi := lo; fi < hi; fi++ {
+				nd := 0
+				for p := lo; p < hi; p++ {
+					fi := act[p]
 					det := e.propagate(fl.Faults[fi]) & mask
-					if det == 0 {
-						continue
+					if po.Mode == NDetect && det != 0 {
+						// Count detections in vector order and stop
+						// exactly at the n-th, so DetCount and ndet are
+						// block-size independent (same rule as Run).
+						det = keepLowestBits(det, po.N-r.DetCount[fi])
 					}
-					r.DetCount[fi] += logic.Popcount(det)
-					if r.FirstDet[fi] < 0 {
-						r.FirstDet[fi] = base + lowestBit(det)
+					if det != 0 {
+						r.DetCount[fi] += logic.Popcount(det)
+						if r.FirstDet[fi] < 0 {
+							r.FirstDet[fi] = base + lowestBit(det)
+							nd++
+						}
+						if r.Det != nil {
+							r.Det[fi].OrWord(block, det)
+						}
+						for d := det; d != 0; d &= d - 1 {
+							local[lowestBit(d)]++
+						}
 					}
-					r.Det[fi].OrWord(block, det)
-					for d := det; d != 0; d &= d - 1 {
-						local[lowestBit(d)]++
+					switch po.Mode {
+					case NoDrop:
+						keep[p] = true
+					case Drop:
+						keep[p] = r.DetCount[fi] == 0
+					case NDetect:
+						keep[p] = r.DetCount[fi] < po.N
 					}
 				}
+				newDet[w] = nd
 			}(w, lo, hi)
 		}
 		wg.Wait()
+
+		// Block barrier: merge (and zero) the per-worker counters, fold
+		// in newly detected faults and reconcile drops by compacting
+		// the shared list. Zeroing happens here rather than in the
+		// workers because a worker whose shard is empty this block
+		// never runs, yet its accumulator is still merged.
 		for w := 0; w < workers; w++ {
-			for bit, cnt := range ndetLocal[w] {
+			local := ndetLocal[w]
+			for bit, cnt := range local {
 				if cnt != 0 {
 					r.Ndet[base+bit] += cnt
+					local[bit] = 0
 				}
 			}
+			detected += newDet[w]
+			newDet[w] = 0
+		}
+		if po.Mode != NoDrop {
+			active.Compact(keep[:n])
 		}
 		r.VectorsUsed = min(base+logic.WordBits, ps.Len())
+
+		if po.Progress != nil {
+			po.Progress(Progress{
+				Block:       block,
+				Blocks:      ps.Blocks(),
+				VectorsUsed: r.VectorsUsed,
+				Detected:    detected,
+				Active:      active.Len(),
+			})
+		}
+		if po.StopAtCoverage > 0 &&
+			float64(detected) >= po.StopAtCoverage*float64(nf) {
+			break
+		}
+		if active.Len() == 0 && po.Mode != NoDrop {
+			break
+		}
 	}
 	r.Ndet = r.Ndet[:r.VectorsUsed]
 	return r

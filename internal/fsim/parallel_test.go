@@ -1,6 +1,7 @@
 package fsim
 
 import (
+	"strconv"
 	"testing"
 
 	"github.com/eda-go/adifo/internal/fault"
@@ -9,43 +10,154 @@ import (
 	"github.com/eda-go/adifo/internal/prng"
 )
 
+// requireEqualResults asserts par is bit-for-bit identical to seq.
+func requireEqualResults(t *testing.T, ctx string, seq, par *Result) {
+	t.Helper()
+	if par.VectorsUsed != seq.VectorsUsed {
+		t.Fatalf("%s: VectorsUsed %d vs %d", ctx, par.VectorsUsed, seq.VectorsUsed)
+	}
+	for fi := range seq.DetCount {
+		if par.DetCount[fi] != seq.DetCount[fi] {
+			t.Fatalf("%s fault %d: DetCount %d vs %d", ctx, fi, par.DetCount[fi], seq.DetCount[fi])
+		}
+		if par.FirstDet[fi] != seq.FirstDet[fi] {
+			t.Fatalf("%s fault %d: FirstDet %d vs %d", ctx, fi, par.FirstDet[fi], seq.FirstDet[fi])
+		}
+	}
+	if (par.Det == nil) != (seq.Det == nil) {
+		t.Fatalf("%s: Det presence differs (par %v, seq %v)", ctx, par.Det != nil, seq.Det != nil)
+	}
+	if seq.Det != nil {
+		for fi := range seq.Det {
+			for w := 0; w*logic.WordBits < seq.Det[fi].Len(); w++ {
+				if par.Det[fi].WordAt(w) != seq.Det[fi].WordAt(w) {
+					t.Fatalf("%s fault %d: Det word %d differs", ctx, fi, w)
+				}
+			}
+		}
+	}
+	if len(par.Ndet) != len(seq.Ndet) {
+		t.Fatalf("%s: Ndet length %d vs %d", ctx, len(par.Ndet), len(seq.Ndet))
+	}
+	for u := range seq.Ndet {
+		if par.Ndet[u] != seq.Ndet[u] {
+			t.Fatalf("%s: ndet(%d) %d vs %d", ctx, u, par.Ndet[u], seq.Ndet[u])
+		}
+	}
+}
+
+// TestRunParallelMatchesSequential checks the bit-identical guarantee
+// across all three modes, worker counts on both sides of the fault
+// count, and multiple circuits.
 func TestRunParallelMatchesSequential(t *testing.T) {
-	for _, workers := range []int{1, 2, 3, 8} {
+	modes := []Options{
+		{Mode: NoDrop},
+		{Mode: Drop},
+		{Mode: NDetect, N: 1},
+		{Mode: NDetect, N: 3},
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64} {
 		for seed := uint64(1); seed <= 3; seed++ {
 			c := gen.Generate(gen.Config{Name: "p", Inputs: 10, Gates: 120, Seed: seed})
 			fl := fault.CollapsedUniverse(c)
 			ps := logic.RandomPatterns(c.NumInputs(), 200, prng.New(seed))
-
-			seq := Run(fl, ps, Options{Mode: NoDrop})
-			par := RunParallel(fl, ps, workers)
-
-			if par.VectorsUsed != seq.VectorsUsed {
-				t.Fatalf("workers=%d seed=%d: VectorsUsed %d vs %d",
-					workers, seed, par.VectorsUsed, seq.VectorsUsed)
-			}
-			for fi := range fl.Faults {
-				if par.DetCount[fi] != seq.DetCount[fi] {
-					t.Fatalf("workers=%d seed=%d fault %d: DetCount %d vs %d",
-						workers, seed, fi, par.DetCount[fi], seq.DetCount[fi])
-				}
-				if par.FirstDet[fi] != seq.FirstDet[fi] {
-					t.Fatalf("workers=%d seed=%d fault %d: FirstDet %d vs %d",
-						workers, seed, fi, par.FirstDet[fi], seq.FirstDet[fi])
-				}
-				for w := 0; w < (ps.Len()+63)/64; w++ {
-					if par.Det[fi].WordAt(w) != seq.Det[fi].WordAt(w) {
-						t.Fatalf("workers=%d seed=%d fault %d: Det word %d differs",
-							workers, seed, fi, w)
-					}
-				}
-			}
-			for u := range seq.Ndet {
-				if par.Ndet[u] != seq.Ndet[u] {
-					t.Fatalf("workers=%d seed=%d: ndet(%d) %d vs %d",
-						workers, seed, u, par.Ndet[u], seq.Ndet[u])
-				}
+			for _, opts := range modes {
+				seq := Run(fl, ps, opts)
+				par := RunParallelWith(fl, ps, ParallelOptions{Options: opts, Workers: workers})
+				ctx := opts.Mode.String()
+				requireEqualResults(t,
+					ctx+"/workers="+strconv.Itoa(workers)+"/seed="+strconv.Itoa(int(seed)), seq, par)
 			}
 		}
+	}
+}
+
+// TestRunParallelSingleFault covers the 1-fault edge case, where every
+// worker count collapses to a single shard.
+func TestRunParallelSingleFault(t *testing.T) {
+	c := gen.Generate(gen.Config{Name: "p1", Inputs: 8, Gates: 60, Seed: 7})
+	full := fault.CollapsedUniverse(c)
+	fl := &fault.List{Circuit: c, Faults: full.Faults[:1]}
+	ps := logic.RandomPatterns(c.NumInputs(), 130, prng.New(7))
+	for _, opts := range []Options{{Mode: NoDrop}, {Mode: Drop}, {Mode: NDetect, N: 2}} {
+		seq := Run(fl, ps, opts)
+		for _, workers := range []int{1, 4, 16} {
+			par := RunParallelWith(fl, ps, ParallelOptions{Options: opts, Workers: workers})
+			requireEqualResults(t, opts.Mode.String()+"/1-fault/workers="+strconv.Itoa(workers), seq, par)
+		}
+	}
+}
+
+// TestRunParallelWorkersExceedFaults pins the workers > faults case on
+// a non-trivial list: the pool must clamp, not deadlock or skip shards.
+func TestRunParallelWorkersExceedFaults(t *testing.T) {
+	c := gen.Generate(gen.Config{Name: "pw", Inputs: 8, Gates: 40, Seed: 11})
+	full := fault.CollapsedUniverse(c)
+	fl := &fault.List{Circuit: c, Faults: full.Faults[:5]}
+	ps := logic.RandomPatterns(c.NumInputs(), 190, prng.New(11))
+	for _, opts := range []Options{{Mode: NoDrop}, {Mode: Drop}, {Mode: NDetect, N: 2}} {
+		seq := Run(fl, ps, opts)
+		par := RunParallelWith(fl, ps, ParallelOptions{Options: opts, Workers: 64})
+		requireEqualResults(t, opts.Mode.String()+"/workers>faults", seq, par)
+	}
+}
+
+// TestRunParallelStopAtCoverage checks the early-exit path truncates
+// at the same block as the sequential run.
+func TestRunParallelStopAtCoverage(t *testing.T) {
+	c := gen.Generate(gen.Config{Name: "ps", Inputs: 10, Gates: 150, Seed: 5})
+	fl := fault.CollapsedUniverse(c)
+	ps := logic.RandomPatterns(c.NumInputs(), 512, prng.New(5))
+	opts := Options{Mode: Drop, StopAtCoverage: 0.5}
+	seq := Run(fl, ps, opts)
+	for _, workers := range []int{2, 7} {
+		par := RunParallelWith(fl, ps, ParallelOptions{Options: opts, Workers: workers})
+		requireEqualResults(t, "stop-at-coverage/workers="+strconv.Itoa(workers), seq, par)
+	}
+}
+
+// TestRunParallelWithGood checks that supplying precomputed good
+// values (the registry cache path) changes nothing about the result.
+func TestRunParallelWithGood(t *testing.T) {
+	c := gen.Generate(gen.Config{Name: "pg", Inputs: 10, Gates: 120, Seed: 9})
+	fl := fault.CollapsedUniverse(c)
+	ps := logic.RandomPatterns(c.NumInputs(), 200, prng.New(9))
+	good := ComputeGood(c, ps)
+	for _, opts := range []Options{{Mode: NoDrop}, {Mode: Drop}, {Mode: NDetect, N: 2}} {
+		seq := Run(fl, ps, opts)
+		par := RunParallelWith(fl, ps, ParallelOptions{Options: opts, Workers: 4, Good: good})
+		requireEqualResults(t, opts.Mode.String()+"/good-cache", seq, par)
+	}
+}
+
+// TestRunParallelProgress checks the per-block progress stream: one
+// callback per simulated block, monotone fields, final state matching
+// the result.
+func TestRunParallelProgress(t *testing.T) {
+	c := gen.Generate(gen.Config{Name: "pp", Inputs: 10, Gates: 120, Seed: 3})
+	fl := fault.CollapsedUniverse(c)
+	ps := logic.RandomPatterns(c.NumInputs(), 300, prng.New(3))
+	var events []Progress
+	res := RunParallelWith(fl, ps, ParallelOptions{
+		Options:  Options{Mode: NoDrop},
+		Workers:  4,
+		Progress: func(p Progress) { events = append(events, p) },
+	})
+	if len(events) != ps.Blocks() {
+		t.Fatalf("got %d progress events, want %d", len(events), ps.Blocks())
+	}
+	for i, ev := range events {
+		if ev.Block != i || ev.Blocks != ps.Blocks() {
+			t.Fatalf("event %d: Block=%d Blocks=%d", i, ev.Block, ev.Blocks)
+		}
+		if i > 0 && ev.Detected < events[i-1].Detected {
+			t.Fatalf("Detected not monotone at block %d", i)
+		}
+	}
+	last := events[len(events)-1]
+	if last.VectorsUsed != res.VectorsUsed || last.Detected != res.DetectedCount() {
+		t.Fatalf("final progress %+v does not match result (used %d, detected %d)",
+			last, res.VectorsUsed, res.DetectedCount())
 	}
 }
 
@@ -60,6 +172,20 @@ func TestRunParallelPanicsOnWidthMismatch(t *testing.T) {
 	RunParallel(fl, logic.NewPatternSet(2), 2)
 }
 
+func TestRunParallelPanicsOnForeignGood(t *testing.T) {
+	c := gen.Generate(gen.Config{Name: "p", Inputs: 4, Gates: 10, Seed: 1})
+	fl := fault.CollapsedUniverse(c)
+	ps := logic.RandomPatterns(4, 64, prng.New(1))
+	other := logic.RandomPatterns(4, 128, prng.New(2))
+	good := ComputeGood(c, other)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunParallelWith(fl, ps, ParallelOptions{Workers: 2, Good: good})
+}
+
 func BenchmarkRunParallel(b *testing.B) {
 	c := gen.Generate(gen.Config{Name: "p", Inputs: 32, Gates: 600, Seed: 1})
 	fl := fault.CollapsedUniverse(c)
@@ -72,6 +198,12 @@ func BenchmarkRunParallel(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			RunParallel(fl, ps, 0)
+		}
+	})
+	good := ComputeGood(c, ps)
+	b.Run("parallel-cached-good", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RunParallelWith(fl, ps, ParallelOptions{Good: good})
 		}
 	})
 }

@@ -1,0 +1,186 @@
+// Package client is the Go client of the adifod fault-grading
+// service: it speaks the HTTP+JSON job API of internal/service and is
+// what the `adifo grade` verb uses to talk to a running server. All
+// wire types are shared with the service package, so a client-side
+// result is structurally identical to a direct library run.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/eda-go/adifo/internal/service"
+)
+
+// Client talks to one adifod server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g.
+// "http://localhost:8417"). httpClient may be nil for
+// http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a grading job and returns its id.
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (string, error) {
+	var resp struct {
+		ID string `json:"id"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Status polls one job.
+func (c *Client) Status(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists all jobs the server knows.
+func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
+	var out []service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Result fetches the outcome of a finished job.
+func (c *Client) Result(ctx context.Context, id string) (*service.JobResult, error) {
+	var res service.JobResult
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Stats fetches the service counters (including the registry
+// cache-hit counters).
+func (c *Client) Stats(ctx context.Context) (service.Stats, error) {
+	var st service.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Stream consumes a job's per-block progress feed, calling fn for
+// every event until the job finishes. It returns the final status.
+func (c *Client) Stream(ctx context.Context, id string, fn func(service.ProgressEvent)) (service.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return service.JobStatus{}, fmt.Errorf("stream %s: %s (HTTP %d)", id, ae.Error, resp.StatusCode)
+		}
+		return service.JobStatus{}, fmt.Errorf("stream %s: HTTP %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var last []byte
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		last = append(last[:0], line...)
+		if fn != nil {
+			var ev service.ProgressEvent
+			if json.Unmarshal(line, &ev) == nil && ev.JobID != "" {
+				fn(ev)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return service.JobStatus{}, err
+	}
+	// The last line of the stream is the terminal JobStatus.
+	var st service.JobStatus
+	if len(last) == 0 || json.Unmarshal(last, &st) != nil || st.ID == "" {
+		return c.Status(ctx, id)
+	}
+	return st, nil
+}
+
+// Wait polls a job until it reaches a terminal state, with the given
+// poll interval (0 means 50ms).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (service.JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == service.StateDone || st.State == service.StateFailed {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

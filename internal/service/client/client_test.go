@@ -1,0 +1,121 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/eda-go/adifo/internal/service"
+)
+
+func newServer(t *testing.T) (*Client, *service.Service) {
+	t.Helper()
+	svc := service.New(service.Config{})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		svc.Close()
+		srv.Close()
+	})
+	return New(srv.URL, srv.Client()), svc
+}
+
+func TestClientSubmitWaitResult(t *testing.T) {
+	cl, _ := newServer(t)
+	ctx := context.Background()
+
+	id, err := cl.Submit(ctx, service.JobSpec{
+		Circuit:  "c17",
+		Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 200, Seed: 3}},
+		Mode:     "drop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Wait(ctx, id, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("job state %s: %s", st.State, st.Error)
+	}
+	res, err := cl.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "drop" || res.Faults != 22 || res.Detected == 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	jobs, err := cl.Jobs(ctx)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs: %v, %d entries", err, len(jobs))
+	}
+}
+
+func TestClientStream(t *testing.T) {
+	cl, _ := newServer(t)
+	ctx := context.Background()
+
+	id, err := cl.Submit(ctx, service.JobSpec{
+		Circuit:  "c17",
+		Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 640, Seed: 9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []service.ProgressEvent
+	st, err := cl.Stream(ctx, id, func(ev service.ProgressEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone || st.ID != id {
+		t.Fatalf("final status %+v", st)
+	}
+	for _, ev := range events {
+		if ev.JobID != id {
+			t.Fatalf("foreign event %+v", ev)
+		}
+	}
+}
+
+func TestClientStatsAfterRepeat(t *testing.T) {
+	cl, _ := newServer(t)
+	ctx := context.Background()
+	spec := service.JobSpec{
+		Circuit:  "lion",
+		Patterns: service.PatternSpec{Exhaustive: true},
+	}
+	for i := 0; i < 2; i++ {
+		id, err := cl.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err := cl.Wait(ctx, id, time.Millisecond); err != nil || st.State != service.StateDone {
+			t.Fatalf("wait: %v, %+v", err, st)
+		}
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Registry.CircuitHits != 1 || st.Registry.GoodHits != 1 {
+		t.Fatalf("cache counters: %+v", st.Registry)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	cl, _ := newServer(t)
+	ctx := context.Background()
+	if _, err := cl.Status(ctx, "j999"); err == nil {
+		t.Fatal("unknown job must error")
+	}
+	if _, err := cl.Result(ctx, "j999"); err == nil {
+		t.Fatal("unknown result must error")
+	}
+	if _, err := cl.Submit(ctx, service.JobSpec{}); err == nil {
+		t.Fatal("empty spec must error")
+	}
+	if _, err := cl.Stream(ctx, "j999", nil); err == nil {
+		t.Fatal("unknown stream must error")
+	}
+}

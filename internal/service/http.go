@@ -1,0 +1,133 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the HTTP+JSON API of the service, the surface
+// cmd/adifod listens on and the client package talks to:
+//
+//	POST /v1/jobs             submit a JobSpec, returns {"id": ...}
+//	GET  /v1/jobs             list job statuses
+//	GET  /v1/jobs/{id}        poll one job's status
+//	GET  /v1/jobs/{id}/result fetch a finished job's JobResult
+//	GET  /v1/jobs/{id}/stream newline-delimited JSON ProgressEvents,
+//	                          one per 64-pattern block, until the job
+//	                          finishes (the last line is the final
+//	                          JobStatus)
+//	GET  /v1/stats            service and registry cache counters
+//	GET  /healthz             liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := s.Result(id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrNotDone):
+		writeError(w, http.StatusConflict, err)
+	default:
+		// The job itself failed.
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// handleStream writes one JSON line per block barrier as the job runs
+// and a final JobStatus line when it reaches a terminal state.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, cancel, ok := s.Subscribe(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				if st, ok := s.Status(id); ok {
+					enc.Encode(st)
+				}
+				flush()
+				return
+			}
+			enc.Encode(ev)
+			flush()
+		}
+	}
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,58 @@
+package service
+
+// lruCache is a small string-keyed LRU used by the registry. Recency
+// is tracked with a monotonic use counter and eviction scans for the
+// minimum, which is O(n) per insert-over-capacity; registry caches are
+// tens of entries and evictions are rare, so the simplicity wins over
+// a linked list. Not safe for concurrent use — the registry locks.
+type lruCache[V any] struct {
+	cap int
+	seq uint64
+	m   map[string]*lruItem[V]
+}
+
+type lruItem[V any] struct {
+	v    V
+	used uint64
+}
+
+func newLRU[V any](capacity int) *lruCache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache[V]{cap: capacity, m: make(map[string]*lruItem[V])}
+}
+
+func (c *lruCache[V]) get(key string) (V, bool) {
+	if it, ok := c.m[key]; ok {
+		c.seq++
+		it.used = c.seq
+		return it.v, true
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *lruCache[V]) put(key string, v V) {
+	if it, ok := c.m[key]; ok {
+		c.seq++
+		it.v, it.used = v, c.seq
+		return
+	}
+	if len(c.m) >= c.cap {
+		var oldest string
+		first := true
+		for k, it := range c.m {
+			if first || it.used < c.m[oldest].used {
+				oldest, first = k, false
+			}
+		}
+		delete(c.m, oldest)
+	}
+	c.seq++
+	c.m[key] = &lruItem[V]{v: v, used: c.seq}
+}
+
+func (c *lruCache[V]) delete(key string) { delete(c.m, key) }
+
+func (c *lruCache[V]) len() int { return len(c.m) }

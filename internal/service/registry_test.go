@@ -1,0 +1,147 @@
+package service
+
+import (
+	"testing"
+
+	"github.com/eda-go/adifo/internal/benchdata"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/prng"
+)
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRU[int](2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok { // touch a: b is now oldest
+		t.Fatal("a missing")
+	}
+	c.put("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUPutOverwrites(t *testing.T) {
+	c := newLRU[int](2)
+	c.put("a", 1)
+	c.put("a", 2)
+	if v, _ := c.get("a"); v != 2 {
+		t.Fatalf("a = %d, want 2", v)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestCircuitKey(t *testing.T) {
+	if _, err := CircuitKey(JobSpec{}); err == nil {
+		t.Fatal("empty spec must be rejected")
+	}
+	if _, err := CircuitKey(JobSpec{Circuit: "c17", Bench: "x"}); err == nil {
+		t.Fatal("ambiguous spec must be rejected")
+	}
+	k1, err := CircuitKey(JobSpec{Circuit: "c17"})
+	if err != nil || k1 != "n:c17" {
+		t.Fatalf("named key = %q, %v", k1, err)
+	}
+	kb1, _ := CircuitKey(JobSpec{Bench: benchdata.C17})
+	kb2, _ := CircuitKey(JobSpec{Bench: benchdata.C17})
+	if kb1 != kb2 {
+		t.Fatal("equal bench text must produce equal keys")
+	}
+	kb3, _ := CircuitKey(JobSpec{Bench: benchdata.C17 + "\n"})
+	if kb3 == kb1 {
+		t.Fatal("different bench text must produce different keys")
+	}
+}
+
+func TestRegistryCircuitCaching(t *testing.T) {
+	r := NewRegistry(4, 4)
+	spec := JobSpec{Circuit: "c17"}
+	e1, err := r.CircuitFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := r.CircuitFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatal("repeat resolution did not hit the cache")
+	}
+	st := r.Stats()
+	if st.CircuitHits != 1 || st.CircuitMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if e1.Faults.Len() != 22 {
+		t.Fatalf("c17 collapsed faults = %d, want 22", e1.Faults.Len())
+	}
+	if e1.Fingerprint == 0 {
+		t.Fatal("fingerprint not populated")
+	}
+}
+
+func TestRegistryCircuitEviction(t *testing.T) {
+	r := NewRegistry(1, 1)
+	if _, err := r.CircuitFor(JobSpec{Circuit: "c17"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CircuitFor(JobSpec{Circuit: "lion"}); err != nil {
+		t.Fatal(err)
+	}
+	// c17 was evicted: resolving it again must miss.
+	if _, err := r.CircuitFor(JobSpec{Circuit: "c17"}); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.CircuitMisses != 3 || st.CircuitHits != 0 {
+		t.Fatalf("stats = %+v, want 3 misses / 0 hits", st)
+	}
+	if st.Circuits != 1 {
+		t.Fatalf("entries = %d, want 1", st.Circuits)
+	}
+}
+
+func TestRegistryGoodCaching(t *testing.T) {
+	r := NewRegistry(4, 4)
+	e, err := r.CircuitFor(JobSpec{Circuit: "c17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := logic.RandomPatterns(e.Circuit.NumInputs(), 128, prng.New(3))
+	g1 := r.Good(e, "r:128:3", ps)
+	g2 := r.Good(e, "r:128:3", ps)
+	if g1 != g2 {
+		t.Fatal("repeat good lookup did not hit the cache")
+	}
+	st := r.Stats()
+	if st.GoodHits != 1 || st.GoodMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if g1.Bytes() <= 0 {
+		t.Fatal("Bytes() must be positive")
+	}
+}
+
+func TestRegistryBadCircuit(t *testing.T) {
+	r := NewRegistry(4, 4)
+	if _, err := r.CircuitFor(JobSpec{Circuit: "no-such-circuit"}); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+	if _, err := r.CircuitFor(JobSpec{Bench: "this is not a netlist"}); err == nil {
+		t.Fatal("bad bench text must fail")
+	}
+	// Failures must not poison the cache.
+	if st := r.Stats(); st.Circuits != 0 {
+		t.Fatalf("failed builds cached: %+v", st)
+	}
+}

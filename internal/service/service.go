@@ -1,0 +1,612 @@
+// Package service turns the batch fault-simulation library into a
+// long-running, concurrent fault-grading engine: a registry caches the
+// artifacts that are expensive to derive and safe to share (parsed
+// circuits, collapsed fault lists, good-machine simulations), a
+// bounded pool runs grading jobs through the sharded simulator
+// (fsim.RunParallelWith), and a small job API — submit, status,
+// result, per-block progress stream — is exposed over HTTP by
+// cmd/adifod and consumed by the client package.
+//
+// Everything a job shares is read-only: circuits and fault lists are
+// immutable after construction, good values are written once under the
+// registry lock, and per-job drop state lives in a private
+// fault.ActiveSet inside the simulator. Results are therefore
+// bit-identical to a direct library run of fsim.Run.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"github.com/eda-go/adifo/internal/fsim"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/prng"
+)
+
+// Config sizes the service; zero values select sensible defaults.
+type Config struct {
+	// SimWorkers is the default per-job shard worker count
+	// (GOMAXPROCS when 0); a job spec may override it downward.
+	SimWorkers int
+	// MaxConcurrentJobs bounds how many jobs simulate at once; further
+	// jobs queue (default 2).
+	MaxConcurrentJobs int
+	// CircuitCache and GoodCache are the registry LRU capacities
+	// (defaults 32 and 64 entries).
+	CircuitCache int
+	GoodCache    int
+	// MaxRetainedJobs bounds how many finished jobs (and their
+	// results) are kept for status/result queries; the oldest
+	// finished jobs are evicted first, queued and running jobs are
+	// never evicted (default 1024).
+	MaxRetainedJobs int
+}
+
+// JobSpec is a fault-grading request. Exactly one of Circuit (a named
+// embedded or synthetic circuit) and Bench (an inline .bench netlist)
+// must be set.
+type JobSpec struct {
+	Circuit string `json:"circuit,omitempty"`
+	Bench   string `json:"bench,omitempty"`
+	// Name labels an inline netlist (cosmetic; named circuits keep
+	// their own name).
+	Name     string      `json:"name,omitempty"`
+	Patterns PatternSpec `json:"patterns"`
+	// Mode is the dropping policy: "nodrop" (default), "drop" or
+	// "ndetect".
+	Mode string `json:"mode,omitempty"`
+	// N is the drop threshold for ndetect mode.
+	N int `json:"n,omitempty"`
+	// Workers overrides the service's shard worker count for this job
+	// (0 = service default). Results never depend on it.
+	Workers int `json:"workers,omitempty"`
+	// StopAtCoverage, when positive, stops after the first block
+	// reaching that fault coverage.
+	StopAtCoverage float64 `json:"stop_at_coverage,omitempty"`
+}
+
+// PatternSpec selects the vector set: exactly one of Random,
+// Exhaustive and Vectors must be set.
+type PatternSpec struct {
+	Random     *RandomSpec `json:"random,omitempty"`
+	Exhaustive bool        `json:"exhaustive,omitempty"`
+	// Vectors are explicit input vectors as bit strings ("0110"), one
+	// character per primary input.
+	Vectors []string `json:"vectors,omitempty"`
+}
+
+// RandomSpec requests N uniformly random vectors from the library
+// PRNG seeded with Seed, reproducible across runs and hosts.
+type RandomSpec struct {
+	N    int    `json:"n"`
+	Seed uint64 `json:"seed"`
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobStatus is the pollable view of a job. Progress fields update at
+// every 64-pattern block barrier.
+type JobStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Circuit string `json:"circuit,omitempty"`
+	Faults  int    `json:"faults,omitempty"`
+	Vectors int    `json:"vectors,omitempty"`
+	Blocks  int    `json:"blocks,omitempty"`
+
+	BlocksDone  int `json:"blocks_done"`
+	VectorsUsed int `json:"vectors_used"`
+	Detected    int `json:"detected"`
+	Active      int `json:"active"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// ProgressEvent is one entry of a job's streaming progress feed.
+type ProgressEvent struct {
+	JobID       string `json:"job_id"`
+	State       string `json:"state"`
+	Block       int    `json:"block"`
+	Blocks      int    `json:"blocks"`
+	VectorsUsed int    `json:"vectors_used"`
+	Detected    int    `json:"detected"`
+	Active      int    `json:"active"`
+}
+
+// JobResult is the full grading outcome, matching what a direct
+// library run returns.
+type JobResult struct {
+	ID          string  `json:"id"`
+	Circuit     string  `json:"circuit"`
+	Fingerprint string  `json:"fingerprint"`
+	Mode        string  `json:"mode"`
+	Faults      int     `json:"faults"`
+	Vectors     int     `json:"vectors"`
+	VectorsUsed int     `json:"vectors_used"`
+	Detected    int     `json:"detected"`
+	Coverage    float64 `json:"coverage"`
+	// Ndet[u] is the number of faults detected by vector u under the
+	// job's dropping policy.
+	Ndet []int `json:"ndet"`
+	// PerFault is indexed by collapsed fault index.
+	PerFault []FaultResult `json:"per_fault"`
+}
+
+// FaultResult is the per-fault grading outcome.
+type FaultResult struct {
+	F        int    `json:"f"`
+	Name     string `json:"name"`
+	DetCount int    `json:"det_count"`
+	FirstDet int    `json:"first_det"`
+	// Det lists the detecting vector indices (the detection set D(f)),
+	// present in nodrop and ndetect modes.
+	Det []int `json:"det,omitempty"`
+}
+
+// Stats is the service-level counter snapshot.
+type Stats struct {
+	Registry      RegistryStats `json:"registry"`
+	JobsSubmitted uint64        `json:"jobs_submitted"`
+	JobsDone      uint64        `json:"jobs_done"`
+	JobsFailed    uint64        `json:"jobs_failed"`
+	JobsRunning   int           `json:"jobs_running"`
+	JobsQueued    int           `json:"jobs_queued"`
+}
+
+// Errors returned by Result.
+var (
+	ErrNotFound = errors.New("service: job not found")
+	ErrNotDone  = errors.New("service: job not finished")
+)
+
+// Service is the concurrent fault-grading engine.
+type Service struct {
+	cfg Config
+	reg *Registry
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // job ids in submission order
+	seq       uint64
+	submitted uint64
+	done      uint64
+	failed    uint64
+}
+
+type job struct {
+	id   string
+	spec JobSpec
+	opts fsim.Options
+
+	mu     sync.Mutex
+	status JobStatus
+	result *JobResult
+	subs   []chan ProgressEvent
+}
+
+// New returns a ready service.
+func New(cfg Config) *Service {
+	if cfg.SimWorkers <= 0 {
+		cfg.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxConcurrentJobs <= 0 {
+		cfg.MaxConcurrentJobs = 2
+	}
+	if cfg.CircuitCache <= 0 {
+		cfg.CircuitCache = 32
+	}
+	if cfg.GoodCache <= 0 {
+		cfg.GoodCache = 64
+	}
+	if cfg.MaxRetainedJobs <= 0 {
+		cfg.MaxRetainedJobs = 1024
+	}
+	return &Service{
+		cfg:  cfg,
+		reg:  NewRegistry(cfg.CircuitCache, cfg.GoodCache),
+		sem:  make(chan struct{}, cfg.MaxConcurrentJobs),
+		jobs: make(map[string]*job),
+	}
+}
+
+// Registry exposes the cache (stats and pre-warming).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Submit validates spec, enqueues a job and returns its id. The job
+// runs asynchronously on the bounded pool; resolution errors (bad
+// netlist, unknown name) surface as a failed job status.
+func (s *Service) Submit(spec JobSpec) (string, error) {
+	if _, err := CircuitKey(spec); err != nil {
+		return "", err
+	}
+	mode, err := fsim.ParseMode(spec.Mode)
+	if err != nil {
+		return "", err
+	}
+	if mode == fsim.NDetect && spec.N <= 0 {
+		return "", fmt.Errorf("ndetect mode requires n > 0")
+	}
+	if mode != fsim.NDetect && spec.N != 0 {
+		return "", fmt.Errorf("n is only meaningful in ndetect mode")
+	}
+	if err := validatePatterns(spec.Patterns); err != nil {
+		return "", err
+	}
+
+	s.mu.Lock()
+	s.seq++
+	s.submitted++
+	id := fmt.Sprintf("j%d", s.seq)
+	j := &job{
+		id:   id,
+		spec: spec,
+		opts: fsim.Options{Mode: mode, N: spec.N, StopAtCoverage: spec.StopAtCoverage},
+		status: JobStatus{
+			ID:    id,
+			State: StateQueued,
+		},
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.evictOldJobsLocked()
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.run(j)
+	return id, nil
+}
+
+// Status returns the current status of a job.
+func (s *Service) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, true
+}
+
+// Jobs returns the status of every known job in submission order.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if st, ok := s.Status(id); ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Result returns the grading outcome of a finished job. It returns
+// ErrNotFound for unknown ids, ErrNotDone while the job is queued or
+// running, and the job's failure for failed jobs.
+func (s *Service) Result(id string) (*JobResult, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status.State {
+	case StateDone:
+		return j.result, nil
+	case StateFailed:
+		return nil, fmt.Errorf("service: job %s failed: %s", id, j.status.Error)
+	}
+	return nil, ErrNotDone
+}
+
+// Subscribe returns a channel of per-block progress events for a job
+// and a cancel function. The channel closes when the job reaches a
+// terminal state (immediately for already-finished jobs). Events are
+// advisory: a slow consumer may miss intermediate blocks but the
+// channel close is always delivered.
+func (s *Service) Subscribe(id string) (<-chan ProgressEvent, func(), bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	ch := make(chan ProgressEvent, 16)
+	j.mu.Lock()
+	terminal := j.status.State == StateDone || j.status.State == StateFailed
+	if terminal {
+		close(ch)
+	} else {
+		j.subs = append(j.subs, ch)
+	}
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				break
+			}
+		}
+		j.mu.Unlock()
+	}
+	return ch, cancel, true
+}
+
+// Stats returns the service counters, including the registry cache
+// hit/miss counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Registry:      s.reg.Stats(),
+		JobsSubmitted: s.submitted,
+		JobsDone:      s.done,
+		JobsFailed:    s.failed,
+	}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		switch j.status.State {
+		case StateRunning:
+			st.JobsRunning++
+		case StateQueued:
+			st.JobsQueued++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// Close waits for all submitted jobs to finish.
+func (s *Service) Close() { s.wg.Wait() }
+
+// evictOldJobsLocked drops the oldest finished jobs once the retained
+// set exceeds the configured bound, so a long-running server's memory
+// stays proportional to MaxRetainedJobs rather than to its lifetime
+// request count. Queued and running jobs are always kept. Caller
+// holds s.mu.
+func (s *Service) evictOldJobsLocked() {
+	excess := len(s.order) - s.cfg.MaxRetainedJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		terminal := j.status.State == StateDone || j.status.State == StateFailed
+		j.mu.Unlock()
+		if excess > 0 && terminal {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// run executes one job on the bounded pool.
+func (s *Service) run(j *job) {
+	defer s.wg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			s.fail(j, fmt.Errorf("internal error: %v", p))
+		}
+	}()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	// Running covers circuit resolution too: generating a synthetic
+	// suite circuit can take seconds and must not look queued.
+	j.mu.Lock()
+	j.status.State = StateRunning
+	j.mu.Unlock()
+
+	entry, err := s.reg.CircuitFor(j.spec)
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	ps, patternKey, err := buildPatterns(entry.Circuit.NumInputs(), j.spec.Patterns)
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+
+	j.mu.Lock()
+	j.status.Circuit = entry.Circuit.Name
+	j.status.Faults = entry.Faults.Len()
+	j.status.Vectors = ps.Len()
+	j.status.Blocks = ps.Blocks()
+	j.status.Active = entry.Faults.Len()
+	j.mu.Unlock()
+
+	// Early-stopping jobs (drop mode, coverage cut-off) often touch only
+	// a prefix of the blocks; precomputing the full good simulation for
+	// them would do strictly more work than the simulator's lazy
+	// per-block path, so the cache is reserved for runs that visit
+	// every block.
+	var good *fsim.Good
+	if j.opts.Mode != fsim.Drop && j.opts.StopAtCoverage == 0 {
+		good = s.reg.Good(entry, patternKey, ps)
+	}
+	workers := j.spec.Workers
+	if workers <= 0 || workers > s.cfg.SimWorkers {
+		workers = s.cfg.SimWorkers
+	}
+	res := fsim.RunParallelWith(entry.Faults, ps, fsim.ParallelOptions{
+		Options:  j.opts,
+		Workers:  workers,
+		Good:     good,
+		Progress: func(p fsim.Progress) { j.publish(p) },
+	})
+
+	result := buildResult(j, entry, ps.Len(), res)
+	j.mu.Lock()
+	j.status.State = StateDone
+	j.status.VectorsUsed = res.VectorsUsed
+	j.status.Detected = result.Detected
+	j.result = result
+	subs := j.subs
+	j.subs = nil
+	j.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+	s.mu.Lock()
+	s.done++
+	s.mu.Unlock()
+}
+
+func (s *Service) fail(j *job, err error) {
+	j.mu.Lock()
+	if j.status.State == StateFailed {
+		// Already failed (e.g. the recover path after fail).
+		j.mu.Unlock()
+		return
+	}
+	j.status.State = StateFailed
+	j.status.Error = err.Error()
+	subs := j.subs
+	j.subs = nil
+	j.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+	s.mu.Lock()
+	s.failed++
+	s.mu.Unlock()
+}
+
+// publish pushes one block-barrier progress snapshot to the status and
+// to every subscriber. Sends never block: progress is advisory.
+func (j *job) publish(p fsim.Progress) {
+	j.mu.Lock()
+	j.status.BlocksDone = p.Block + 1
+	j.status.VectorsUsed = p.VectorsUsed
+	j.status.Detected = p.Detected
+	j.status.Active = p.Active
+	ev := ProgressEvent{
+		JobID:       j.id,
+		State:       StateRunning,
+		Block:       p.Block,
+		Blocks:      p.Blocks,
+		VectorsUsed: p.VectorsUsed,
+		Detected:    p.Detected,
+		Active:      p.Active,
+	}
+	subs := append([]chan ProgressEvent(nil), j.subs...)
+	j.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+func buildResult(j *job, entry *CircuitEntry, vectors int, res *fsim.Result) *JobResult {
+	c := entry.Circuit
+	out := &JobResult{
+		ID:          j.id,
+		Circuit:     c.Name,
+		Fingerprint: fmt.Sprintf("%016x", entry.Fingerprint),
+		Mode:        j.opts.Mode.String(),
+		Faults:      entry.Faults.Len(),
+		Vectors:     vectors,
+		VectorsUsed: res.VectorsUsed,
+		Detected:    res.DetectedCount(),
+		Coverage:    res.Coverage(),
+		Ndet:        append([]int(nil), res.Ndet...),
+		PerFault:    make([]FaultResult, entry.Faults.Len()),
+	}
+	for fi, f := range entry.Faults.Faults {
+		fr := FaultResult{
+			F:        fi,
+			Name:     f.Name(c),
+			DetCount: res.DetCount[fi],
+			FirstDet: res.FirstDet[fi],
+		}
+		if res.Det != nil {
+			fr.Det = res.Det[fi].Indices()
+		}
+		out.PerFault[fi] = fr
+	}
+	return out
+}
+
+func validatePatterns(spec PatternSpec) error {
+	n := 0
+	if spec.Random != nil {
+		n++
+		if spec.Random.N <= 0 {
+			return fmt.Errorf("random pattern spec requires n > 0")
+		}
+	}
+	if spec.Exhaustive {
+		n++
+	}
+	if len(spec.Vectors) > 0 {
+		n++
+	}
+	if n != 1 {
+		return fmt.Errorf("pattern spec must set exactly one of random, exhaustive, vectors")
+	}
+	return nil
+}
+
+// buildPatterns materializes the vector set of a spec for a circuit
+// with the given input count and returns a deterministic content key
+// for the good-machine cache.
+func buildPatterns(inputs int, spec PatternSpec) (*logic.PatternSet, string, error) {
+	switch {
+	case spec.Random != nil:
+		ps := logic.RandomPatterns(inputs, spec.Random.N, prng.New(spec.Random.Seed))
+		return ps, fmt.Sprintf("r:%d:%d", spec.Random.N, spec.Random.Seed), nil
+	case spec.Exhaustive:
+		if inputs > 20 {
+			return nil, "", fmt.Errorf("exhaustive patterns limited to 20 inputs, circuit has %d", inputs)
+		}
+		return logic.ExhaustivePatterns(inputs), "x", nil
+	case len(spec.Vectors) > 0:
+		ps := logic.NewPatternSet(inputs)
+		h := fnv.New64a()
+		for i, s := range spec.Vectors {
+			if len(s) != inputs {
+				return nil, "", fmt.Errorf("vector %d has %d bits, circuit has %d inputs", i, len(s), inputs)
+			}
+			v := make(logic.Vector, inputs)
+			for k := 0; k < len(s); k++ {
+				switch s[k] {
+				case '0':
+				case '1':
+					v[k] = 1
+				default:
+					return nil, "", fmt.Errorf("vector %d: invalid character %q", i, s[k])
+				}
+			}
+			ps.Append(v)
+			h.Write([]byte(s))
+			h.Write([]byte{'\n'})
+		}
+		return ps, fmt.Sprintf("v:%016x", h.Sum64()), nil
+	}
+	return nil, "", fmt.Errorf("empty pattern spec")
+}

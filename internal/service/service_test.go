@@ -1,0 +1,312 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"github.com/eda-go/adifo/internal/benchdata"
+	"github.com/eda-go/adifo/internal/fault"
+	"github.com/eda-go/adifo/internal/fsim"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/prng"
+)
+
+func waitDone(t *testing.T, s *Service, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, ok := s.Status(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// directRun reproduces what the service should compute, via the
+// library, for a named circuit and random patterns.
+func directRun(t *testing.T, name string, n int, seed uint64, opts fsim.Options) (*fault.List, *fsim.Result) {
+	t.Helper()
+	c, err := benchdata.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := fault.CollapsedUniverse(c)
+	ps := logic.RandomPatterns(c.NumInputs(), n, prng.New(seed))
+	return fl, fsim.Run(fl, ps, opts)
+}
+
+func TestJobMatchesDirectLibraryRun(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	for _, tc := range []struct {
+		mode string
+		n    int
+		opts fsim.Options
+	}{
+		{"nodrop", 0, fsim.Options{Mode: fsim.NoDrop}},
+		{"drop", 0, fsim.Options{Mode: fsim.Drop}},
+		{"ndetect", 2, fsim.Options{Mode: fsim.NDetect, N: 2}},
+	} {
+		id, err := s.Submit(JobSpec{
+			Circuit:  "c17",
+			Patterns: PatternSpec{Random: &RandomSpec{N: 200, Seed: 7}},
+			Mode:     tc.mode,
+			N:        tc.n,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.mode, err)
+		}
+		st := waitDone(t, s, id)
+		if st.State != StateDone {
+			t.Fatalf("%s: job failed: %s", tc.mode, st.Error)
+		}
+		res, err := s.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fl, want := directRun(t, "c17", 200, 7, tc.opts)
+		if res.Faults != fl.Len() || res.Detected != want.DetectedCount() ||
+			res.VectorsUsed != want.VectorsUsed {
+			t.Fatalf("%s: summary mismatch: %+v", tc.mode, res)
+		}
+		if len(res.Ndet) != len(want.Ndet) {
+			t.Fatalf("%s: ndet length %d vs %d", tc.mode, len(res.Ndet), len(want.Ndet))
+		}
+		for u := range want.Ndet {
+			if res.Ndet[u] != want.Ndet[u] {
+				t.Fatalf("%s: ndet(%d) %d vs %d", tc.mode, u, res.Ndet[u], want.Ndet[u])
+			}
+		}
+		for fi := range fl.Faults {
+			fr := res.PerFault[fi]
+			if fr.DetCount != want.DetCount[fi] || fr.FirstDet != want.FirstDet[fi] {
+				t.Fatalf("%s fault %d: got (%d,%d), want (%d,%d)", tc.mode, fi,
+					fr.DetCount, fr.FirstDet, want.DetCount[fi], want.FirstDet[fi])
+			}
+			if want.Det != nil {
+				wantIdx := want.Det[fi].Indices()
+				if len(fr.Det) != len(wantIdx) {
+					t.Fatalf("%s fault %d: det set size %d vs %d", tc.mode, fi, len(fr.Det), len(wantIdx))
+				}
+				for k := range wantIdx {
+					if fr.Det[k] != wantIdx[k] {
+						t.Fatalf("%s fault %d: det[%d] = %d, want %d", tc.mode, fi, k, fr.Det[k], wantIdx[k])
+					}
+				}
+			} else if fr.Det != nil {
+				t.Fatalf("%s fault %d: unexpected det set in drop mode", tc.mode, fi)
+			}
+		}
+	}
+}
+
+func TestRepeatSubmissionHitsCaches(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	spec := JobSpec{
+		Circuit:  "lion",
+		Patterns: PatternSpec{Exhaustive: true},
+	}
+	for i := 0; i < 3; i++ {
+		id, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitDone(t, s, id); st.State != StateDone {
+			t.Fatalf("run %d failed: %s", i, st.Error)
+		}
+	}
+	st := s.Stats()
+	if st.Registry.CircuitMisses != 1 || st.Registry.CircuitHits != 2 {
+		t.Fatalf("circuit cache: %+v, want 1 miss / 2 hits", st.Registry)
+	}
+	if st.Registry.GoodMisses != 1 || st.Registry.GoodHits != 2 {
+		t.Fatalf("good cache: %+v, want 1 miss / 2 hits", st.Registry)
+	}
+	if st.JobsDone != 3 || st.JobsFailed != 0 {
+		t.Fatalf("job counters: %+v", st)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	bad := []JobSpec{
+		{},                               // no circuit
+		{Circuit: "c17"},                 // no patterns
+		{Circuit: "c17", Bench: "x = y"}, // ambiguous circuit
+		{Circuit: "c17", Patterns: PatternSpec{Random: &RandomSpec{N: 0}}},                   // n <= 0
+		{Circuit: "c17", Patterns: PatternSpec{Random: &RandomSpec{N: 8}, Exhaustive: true}}, // two pattern kinds
+		{Circuit: "c17", Patterns: PatternSpec{Random: &RandomSpec{N: 8}}, Mode: "bogus"},
+		{Circuit: "c17", Patterns: PatternSpec{Random: &RandomSpec{N: 8}}, Mode: "ndetect"},    // missing n
+		{Circuit: "c17", Patterns: PatternSpec{Random: &RandomSpec{N: 8}}, Mode: "drop", N: 3}, // n without ndetect
+		{Circuit: "c17", Patterns: PatternSpec{Vectors: []string{"01"}}},                       // width checked at run time...
+	}
+	for i, spec := range bad[:len(bad)-1] {
+		if _, err := s.Submit(spec); err == nil {
+			t.Fatalf("spec %d accepted: %+v", i, spec)
+		}
+	}
+	// Wrong vector width is only discoverable after circuit resolution:
+	// it must surface as a failed job, not a hung one.
+	id, err := s.Submit(bad[len(bad)-1])
+	if err != nil {
+		t.Fatalf("vector-width spec rejected synchronously: %v", err)
+	}
+	st := waitDone(t, s, id)
+	if st.State != StateFailed || st.Error == "" {
+		t.Fatalf("want failed job with error, got %+v", st)
+	}
+	if _, err := s.Result(id); err == nil {
+		t.Fatal("Result on failed job must error")
+	}
+}
+
+func TestUnknownCircuitFailsJob(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	id, err := s.Submit(JobSpec{
+		Circuit:  "no-such-circuit",
+		Patterns: PatternSpec{Random: &RandomSpec{N: 8, Seed: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, s, id); st.State != StateFailed {
+		t.Fatalf("want failed, got %+v", st)
+	}
+}
+
+// TestJobRetention checks that finished jobs are evicted oldest-first
+// once the retained set exceeds the bound, so server memory does not
+// grow with lifetime request count.
+func TestJobRetention(t *testing.T) {
+	s := New(Config{MaxRetainedJobs: 3})
+	defer s.Close()
+	spec := JobSpec{Circuit: "lion", Patterns: PatternSpec{Exhaustive: true}}
+	var ids []string
+	for i := 0; i < 6; i++ {
+		id, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		// Finish each job before the next submission so eviction has
+		// terminal jobs to reclaim.
+		if st := waitDone(t, s, id); st.State != StateDone {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+	}
+	if got := len(s.Jobs()); got > 3 {
+		t.Fatalf("%d jobs retained, want <= 3", got)
+	}
+	if _, ok := s.Status(ids[0]); ok {
+		t.Fatalf("oldest job %s should have been evicted", ids[0])
+	}
+	if _, err := s.Result(ids[len(ids)-1]); err != nil {
+		t.Fatalf("newest job must survive eviction: %v", err)
+	}
+}
+
+func TestResultErrors(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	if _, err := s.Result("j999"); err != ErrNotFound {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if _, ok := s.Status("j999"); ok {
+		t.Fatal("unknown job must not have status")
+	}
+}
+
+func TestSubscribeStreamsBlocks(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	// 1024 vectors = 16 blocks, enough to observe streaming.
+	id, err := s.Submit(JobSpec{
+		Circuit:  "c17",
+		Patterns: PatternSpec{Random: &RandomSpec{N: 1024, Seed: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, ok := s.Subscribe(id)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	defer cancel()
+	var events []ProgressEvent
+	for ev := range ch {
+		events = append(events, ev)
+	}
+	st := waitDone(t, s, id)
+	if st.State != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	// Events are advisory (a slow consumer may drop some) but block
+	// indices must be strictly increasing and in range.
+	for i := 1; i < len(events); i++ {
+		if events[i].Block <= events[i-1].Block {
+			t.Fatalf("non-increasing block stream: %v then %v", events[i-1], events[i])
+		}
+	}
+	for _, ev := range events {
+		if ev.Block < 0 || ev.Block >= ev.Blocks || ev.JobID != id {
+			t.Fatalf("bad event %+v", ev)
+		}
+	}
+	// Subscribing after completion yields an immediately closed channel.
+	ch2, cancel2, ok := s.Subscribe(id)
+	if !ok {
+		t.Fatal("late subscribe failed")
+	}
+	defer cancel2()
+	if _, open := <-ch2; open {
+		t.Fatal("late subscription channel must start closed")
+	}
+}
+
+// TestConcurrentJobsBounded floods a 2-slot pool with jobs and checks
+// they all complete with per-seed-correct results (the shared caches
+// and the bounded pool must not cross-contaminate jobs).
+func TestConcurrentJobsBounded(t *testing.T) {
+	s := New(Config{MaxConcurrentJobs: 2, SimWorkers: 2})
+	defer s.Close()
+	ids := make([]string, 8)
+	for i := range ids {
+		id, err := s.Submit(JobSpec{
+			Circuit:  "s27",
+			Patterns: PatternSpec{Random: &RandomSpec{N: 192, Seed: uint64(i)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i, id := range ids {
+		st := waitDone(t, s, id)
+		if st.State != StateDone {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		res, err := s.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want := directRun(t, "s27", 192, uint64(i), fsim.Options{Mode: fsim.NoDrop})
+		if res.Detected != want.DetectedCount() {
+			t.Fatalf("job %s (seed %d): detected %d, want %d", id, i, res.Detected, want.DetectedCount())
+		}
+	}
+	st := s.Stats()
+	if st.JobsDone != 8 || st.JobsRunning != 0 || st.JobsQueued != 0 {
+		t.Fatalf("counters after drain: %+v", st)
+	}
+}
