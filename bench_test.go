@@ -164,10 +164,10 @@ func BenchmarkGenerationRuns(b *testing.B) {
 func BenchmarkServiceThroughput(b *testing.B) {
 	svc := service.New(service.Config{MaxConcurrentJobs: 4})
 	specs := []service.JobSpec{
-		{Circuit: "c17", Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 512, Seed: 1}}},
-		{Circuit: "s27", Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 512, Seed: 2}}},
-		{Circuit: "lion", Patterns: service.PatternSpec{Exhaustive: true}},
-		{Circuit: "irs208", Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 512, Seed: 3}}},
+		{Circuit: "c17", Mode: "nodrop", Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 512, Seed: 1}}},
+		{Circuit: "s27", Mode: "nodrop", Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 512, Seed: 2}}},
+		{Circuit: "lion", Mode: "nodrop", Patterns: service.PatternSpec{Exhaustive: true}},
+		{Circuit: "irs208", Mode: "nodrop", Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 512, Seed: 3}}},
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

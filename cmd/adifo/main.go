@@ -1,7 +1,8 @@
 // Command adifo is the Swiss-army tool of the library: circuit
 // statistics, fault listing, ADI computation, fault-order inspection
-// and fault grading (local or against an adifod server) on any
-// circuit.
+// and fault grading (in-process or against an adifod server) on any
+// circuit. It is built entirely on the public adifo package — the same
+// surface an external Go program uses.
 //
 // Usage:
 //
@@ -11,27 +12,21 @@
 //	adifo order  -circuit lion -exhaustive -order dynm
 //	adifo grade  -circuit c17 -mode drop -n 256
 //	adifo grade  -server http://localhost:8417 -circuit my.bench
+//
+// An interrupt (Ctrl-C) during grade cancels the job — on the server
+// when -server is set — and the stream terminates with the cancelled
+// status.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
+	"os/signal"
 
-	"github.com/eda-go/adifo/internal/adi"
-	"github.com/eda-go/adifo/internal/benchdata"
-	"github.com/eda-go/adifo/internal/cli"
-	"github.com/eda-go/adifo/internal/experiments"
-	"github.com/eda-go/adifo/internal/fault"
-	"github.com/eda-go/adifo/internal/fsim"
-	"github.com/eda-go/adifo/internal/gen"
-	"github.com/eda-go/adifo/internal/logic"
-	"github.com/eda-go/adifo/internal/prng"
-	"github.com/eda-go/adifo/internal/service"
-	"github.com/eda-go/adifo/internal/service/client"
+	"github.com/eda-go/adifo"
 )
 
 func usage() {
@@ -82,8 +77,8 @@ func main() {
 	var o options
 	fs.StringVar(&o.circuit, "circuit", "c17", "circuit reference")
 	fs.BoolVar(&o.exhaustive, "exhaustive", false, "use all 2^inputs vectors")
-	fs.IntVar(&o.n, "n", experiments.MaxRandomVectors, "random vector budget for U")
-	fs.Uint64Var(&o.seed, "seed", experiments.USeed, "random vector seed")
+	fs.IntVar(&o.n, "n", adifo.DefaultUBudget, "random vector budget for U")
+	fs.Uint64Var(&o.seed, "seed", adifo.DefaultUSeed, "random vector seed")
 	fs.StringVar(&o.order, "order", "dynm", "fault order to print")
 	fs.IntVar(&o.limit, "limit", 0, "print at most this many rows (0 = all)")
 	fs.StringVar(&o.server, "server", "", "adifod server URL (empty = grade in-process)")
@@ -102,10 +97,11 @@ func run(cmd string, o options) error {
 	if cmd == "grade" {
 		return grade(o, os.Stdout)
 	}
-	c, err := cli.LoadCircuit(o.circuit)
+	c, err := adifo.LoadCircuit(o.circuit)
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 	switch cmd {
 	case "stats":
 		st := c.ComputeStats()
@@ -117,12 +113,12 @@ func run(cmd string, o options) error {
 		fmt.Printf("lines     %d\n", st.Lines)
 		fmt.Printf("max fanin %d, max fanout %d, fanout stems %d\n",
 			st.MaxFanin, st.MaxFanout, st.FanoutStem)
-		fl := fault.CollapsedUniverse(c)
-		fmt.Printf("faults    %d collapsed (%d uncollapsed)\n", fl.Len(), fault.Universe(c).Len())
+		fl := adifo.Faults(c)
+		fmt.Printf("faults    %d collapsed (%d uncollapsed)\n", fl.Len(), adifo.AllFaults(c).Len())
 		return nil
 
 	case "faults":
-		fl := fault.CollapsedUniverse(c)
+		fl := adifo.Faults(c)
 		for i, f := range fl.Faults {
 			if o.limit > 0 && i >= o.limit {
 				fmt.Printf("... (%d more)\n", fl.Len()-i)
@@ -133,9 +129,15 @@ func run(cmd string, o options) error {
 		return nil
 
 	case "adi", "order":
-		fl := fault.CollapsedUniverse(c)
-		u := vectorSet(c, fl, o.exhaustive, o.n, o.seed)
-		ix := adi.Compute(fl, u)
+		fl := adifo.Faults(c)
+		u, err := vectorSet(ctx, c, fl, o.exhaustive, o.n, o.seed)
+		if err != nil {
+			return err
+		}
+		ix, err := adifo.ComputeADI(ctx, fl, u)
+		if err != nil {
+			return err
+		}
 		mn, mx := ix.MinMax()
 		fmt.Printf("U %d vectors; |F_U| = %d of %d faults; ADImin=%d ADImax=%d ratio=%.2f\n",
 			u.Len(), ix.NumDetected(), fl.Len(), mn, mx, ix.Ratio())
@@ -149,7 +151,7 @@ func run(cmd string, o options) error {
 			}
 			return nil
 		}
-		kind, err := cli.ParseOrder(o.order)
+		kind, err := adifo.ParseOrder(o.order)
 		if err != nil {
 			return err
 		}
@@ -168,37 +170,58 @@ func run(cmd string, o options) error {
 	return nil
 }
 
-// grade submits the circuit to a grading service — a running adifod
-// when -server is set, otherwise one spun up in-process on a loopback
-// listener so the exact same client/server path is exercised — streams
-// per-block progress and prints the result summary.
+// grade submits the circuit to a grading engine — a running adifod
+// when -server is set, otherwise the in-process engine behind the same
+// Grader interface — streams per-block progress and prints the result
+// summary. An interrupt cancels the job.
 func grade(o options, out *os.File) error {
 	ctx := context.Background()
 
-	base := o.server
-	if base == "" {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		defer ln.Close()
-		svc := service.New(service.Config{})
-		go http.Serve(ln, svc.Handler())
-		base = "http://" + ln.Addr().String()
+	var g adifo.Grader
+	if o.server != "" {
+		g = adifo.NewRemoteGrader(o.server, nil)
+	} else {
+		g = adifo.NewLocalGrader(adifo.GraderConfig{})
 	}
-	cl := client.New(base, nil)
+	defer g.Close()
 
 	spec, err := gradeSpec(o)
 	if err != nil {
 		return err
 	}
-	id, err := cl.Submit(ctx, spec)
+	id, err := g.Submit(ctx, spec)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "job %s submitted to %s\n", id, base)
+	where := o.server
+	if where == "" {
+		where = "in-process engine"
+	}
+	fmt.Fprintf(out, "job %s submitted to %s\n", id, where)
 
-	st, err := cl.Stream(ctx, id, func(ev service.ProgressEvent) {
+	// Ctrl-C cancels the job rather than abandoning it; the progress
+	// stream then terminates with the cancelled status.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-sig:
+			// Restore default handling so a second Ctrl-C kills the
+			// process even if the cancel request hangs.
+			signal.Stop(sig)
+			fmt.Fprintf(out, "interrupt: cancelling job %s\n", id)
+			if _, err := g.Cancel(context.Background(), id); err != nil &&
+				!errors.Is(err, adifo.ErrJobFinished) {
+				fmt.Fprintf(out, "cancel failed: %v\n", err)
+			}
+		case <-watcherDone:
+		}
+	}()
+
+	st, err := g.Stream(ctx, id, func(ev adifo.ProgressEvent) {
 		if !o.quiet {
 			fmt.Fprintf(out, "block %d/%d: %d vectors, %d detected, %d active\n",
 				ev.Block+1, ev.Blocks, ev.VectorsUsed, ev.Detected, ev.Active)
@@ -207,10 +230,10 @@ func grade(o options, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	if st.State != service.StateDone {
+	if st.State != adifo.JobDone {
 		return fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
 	}
-	res, err := cl.Result(ctx, id)
+	res, err := g.Result(ctx, id)
 	if err != nil {
 		return err
 	}
@@ -230,15 +253,15 @@ func grade(o options, out *os.File) error {
 	return nil
 }
 
-// gradeSpec builds the job spec. Precedence matches cli.LoadCircuit:
+// gradeSpec builds the job spec. Precedence matches adifo.LoadCircuit:
 // an embedded or suite name wins over a same-named local file, so
 // `grade -circuit c17` always means the embedded benchmark. A
 // non-name reference is read as a .bench file and shipped as inline
 // netlist text (the server never touches the client's filesystem);
 // anything else is passed through for the server to reject.
-func gradeSpec(o options) (service.JobSpec, error) {
-	spec := service.JobSpec{Mode: o.mode, N: o.ndet}
-	if data, err := os.ReadFile(o.circuit); err == nil && !isNamedCircuit(o.circuit) {
+func gradeSpec(o options) (adifo.JobSpec, error) {
+	spec := adifo.JobSpec{Mode: o.mode, N: o.ndet}
+	if data, err := os.ReadFile(o.circuit); err == nil && !adifo.IsNamedCircuit(o.circuit) {
 		spec.Bench = string(data)
 		spec.Name = o.circuit
 	} else {
@@ -247,26 +270,18 @@ func gradeSpec(o options) (service.JobSpec, error) {
 	if o.exhaustive {
 		spec.Patterns.Exhaustive = true
 	} else {
-		spec.Patterns.Random = &service.RandomSpec{N: o.n, Seed: o.seed}
+		spec.Patterns.Random = &adifo.RandomSpec{N: o.n, Seed: o.seed}
 	}
 	return spec, nil
 }
 
-// isNamedCircuit reports whether ref is an embedded benchmark or
-// synthetic suite name (cheap: no circuit is built).
-func isNamedCircuit(ref string) bool {
-	if _, err := benchdata.Source(ref); err == nil {
-		return true
-	}
-	_, ok := gen.SuiteByName(ref)
-	return ok
-}
-
-func vectorSet(c interface{ NumInputs() int }, fl *fault.List, exhaustive bool, n int, seed uint64) *logic.PatternSet {
+// vectorSet builds the vector set U for the adi and order verbs: the
+// exhaustive set when requested, otherwise seeded random vectors sized
+// at the paper's target coverage.
+func vectorSet(ctx context.Context, c *adifo.Circuit, fl *adifo.FaultList, exhaustive bool, n int, seed uint64) (*adifo.PatternSet, error) {
 	if exhaustive {
-		return logic.ExhaustivePatterns(c.NumInputs())
+		return adifo.ExhaustivePatterns(c.NumInputs()), nil
 	}
-	candidates := logic.RandomPatterns(c.NumInputs(), n, prng.New(seed))
-	sizing := fsim.Run(fl, candidates, fsim.Options{Mode: fsim.Drop, StopAtCoverage: experiments.TargetCoverage})
-	return candidates.Slice(sizing.VectorsUsed)
+	candidates := adifo.RandomPatterns(c.NumInputs(), n, seed)
+	return adifo.SizePatterns(ctx, fl, candidates, adifo.DefaultTargetCoverage)
 }

@@ -1,10 +1,16 @@
 // Command adifod serves the concurrent fault-grading API over
 // HTTP+JSON: POST a circuit (named or inline .bench) plus a pattern
-// spec to /v1/jobs, poll or stream the job, fetch per-fault detection
-// sets and ndet counts from /v1/jobs/{id}/result. Parsed circuits,
-// collapsed fault lists and good-machine simulations are cached with
-// LRU eviction, so repeat submissions of the same circuit skip
-// straight to fault grading; /v1/stats exposes the cache counters.
+// spec to /v1/jobs, poll or stream the job, cancel it with DELETE
+// /v1/jobs/{id}, fetch per-fault detection sets and ndet counts from
+// /v1/jobs/{id}/result. Parsed circuits, collapsed fault lists and
+// good-machine simulations are cached with LRU eviction, so repeat
+// submissions of the same circuit skip straight to fault grading;
+// /v1/stats exposes the cache counters. Every non-2xx response is the
+// v1 error envelope {"error": {"code": ..., "message": ...}}.
+//
+// The server is the public adifo.LocalGrader behind its Handler; a Go
+// program embedding the engine gets the identical API from
+// adifo.NewLocalGrader directly.
 //
 // Usage:
 //
@@ -18,7 +24,7 @@ import (
 	"net/http"
 	"os"
 
-	"github.com/eda-go/adifo/internal/service"
+	"github.com/eda-go/adifo"
 )
 
 func main() {
@@ -35,14 +41,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := service.New(service.Config{
+	g := adifo.NewLocalGrader(adifo.GraderConfig{
 		SimWorkers:        *workers,
 		MaxConcurrentJobs: *jobs,
 		CircuitCache:      *circuitCache,
 		GoodCache:         *goodCache,
 	})
 	log.Printf("adifod listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, g.Handler()); err != nil {
 		log.Fatalf("adifod: %v", err)
 	}
 }

@@ -1,15 +1,51 @@
 // Package adifo reproduces Pomeranz & Reddy, "The Accidental Detection
 // Index as a Fault Ordering Heuristic for Full-Scan Circuits" (DATE
-// 2005), as a complete Go library: gate-level netlists, stuck-at fault
-// modelling with equivalence collapsing, bit-parallel fault
-// simulation, a PODEM test generator, the accidental detection index
-// with its six fault orders, an irredundancy pass, a synthetic
-// benchmark suite, and a harness that regenerates every table and
-// figure of the paper's evaluation.
+// 2005), as a complete Go library, and exposes the whole pipeline —
+// no-drop fault simulation, the accidental detection index, the six
+// fault orders, and ordered test generation — as a stable public
+// facade over the internal packages.
 //
-// The implementation lives under internal/; see README.md for the
-// architecture overview, cmd/ for the command-line tools, and
-// examples/ for runnable walk-throughs of the public API. The
-// top-level bench_test.go regenerates the paper's tables and figure
-// via `go test -bench`.
+// # The pipeline
+//
+// The typical flow, each step one exported call:
+//
+//	c, err := adifo.LoadCircuit("c17")            // embedded, suite, or .bench path
+//	faults := adifo.Faults(c)                     // collapsed stuck-at universe
+//	u := adifo.ExhaustivePatterns(c.NumInputs())  // or RandomPatterns + SizePatterns
+//	ix, err := adifo.ComputeADI(ctx, faults, u)   // the paper's ADI
+//	order := ix.Order(adifo.Dynm)                 // one of the six orders
+//	res, err := adifo.GenerateTests(ctx, faults, order,
+//		adifo.WithFillSeed(adifo.DefaultFillSeed))
+//
+// Batch fault grading with explicit control over the dropping policy,
+// shard workers and per-block progress goes through Simulate:
+//
+//	sim, err := adifo.Simulate(ctx, faults, u,
+//		adifo.WithMode(adifo.Drop),
+//		adifo.WithWorkers(8),
+//		adifo.WithProgress(func(p adifo.SimProgress) { ... }))
+//
+// Every long-running entry point takes a context.Context and stops
+// within one 64-pattern block (simulation) or one ATPG target (test
+// generation) of a cancellation. Simulate and GenerateTests return the
+// partial result accumulated so far alongside the context's error;
+// derived helpers (ComputeADI, SizePatterns) return a nil result on
+// cancellation, since a partial index or sizing is not meaningful.
+//
+// # The grading service
+//
+// Grader abstracts the concurrent fault-grading engine behind one
+// interface with two implementations: NewLocalGrader runs jobs
+// in-process (and can serve them over HTTP via its Handler), while
+// NewRemoteGrader talks to a running adifod server. Both speak the
+// same job API — Submit, Status, Result, Cancel, Stream — over the
+// same wire types, so a program can switch between embedded and
+// remote grading by swapping a constructor.
+//
+// The implementation lives under internal/ and is not importable;
+// everything an external consumer needs is exported here. See
+// README.md for the architecture overview, cmd/ for the command-line
+// tools, and examples/ for runnable walk-throughs built exclusively on
+// this public API. The top-level bench_test.go regenerates the paper's
+// tables and figure via `go test -bench`.
 package adifo

@@ -4,7 +4,9 @@
 // any dynamic compaction machinery in the ATPG itself.
 //
 // This example runs the full flow of the paper's Table 5 on one
-// synthetic benchmark and compares all six fault orders.
+// synthetic benchmark and compares all six fault orders, preparing the
+// circuit with the paper's published recipe (10,000 candidate vectors
+// truncated at ~90% fault coverage) through the public adifo package.
 //
 // Run with:
 //
@@ -12,41 +14,53 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"text/tabwriter"
 
-	"github.com/eda-go/adifo/internal/adi"
-	"github.com/eda-go/adifo/internal/experiments"
-	"github.com/eda-go/adifo/internal/gen"
-	"github.com/eda-go/adifo/internal/report"
-	"github.com/eda-go/adifo/internal/tgen"
+	"github.com/eda-go/adifo"
 )
 
 func main() {
-	// Build irs298 the way the experiments do: generate, make
-	// irredundant, size U at ~90% random-pattern coverage, compute
-	// the ADI.
-	sc, ok := gen.SuiteByName("irs298")
-	if !ok {
-		log.Fatal("suite circuit missing")
+	ctx := context.Background()
+
+	// Build irs298 the way the experiments do: LoadCircuit generates
+	// the synthetic netlist and applies the irredundancy pass.
+	c, err := adifo.LoadCircuit("irs298")
+	if err != nil {
+		log.Fatal(err)
 	}
-	setup, err := experiments.Prepare(sc)
+	faults := adifo.Faults(c)
+
+	// Size U per the paper's recipe: start from the default candidate
+	// budget and keep only the prefix that reaches ~90% coverage.
+	candidates := adifo.RandomPatterns(c.NumInputs(), adifo.DefaultUBudget, adifo.DefaultUSeed)
+	u, err := adifo.SizePatterns(ctx, faults, candidates, adifo.DefaultTargetCoverage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	index, err := adifo.ComputeADI(ctx, faults, u)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: %d inputs, %d faults, |U|=%d\n",
-		setup.C.Name, setup.C.NumInputs(), setup.Faults.Len(), setup.U.Len())
+		c.Name, c.NumInputs(), faults.Len(), u.Len())
 
-	tb := report.NewTable("Test-set size by fault order",
-		"order", "tests", "coverage%", "AVE", "atpg calls")
-	for _, kind := range adi.AllOrders() {
-		res := tgen.Generate(setup.Faults, setup.Index.Order(kind), tgen.Options{
-			FillSeed: experiments.FillSeed,
-			Validate: true,
-		})
-		tb.AddRow(kind.String(), len(res.Tests), 100*res.Coverage(), res.AVE(), res.AtpgCalls)
+	fmt.Println("Test-set size by fault order")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "order\ttests\tcoverage%\tAVE\tatpg calls\t")
+	for _, kind := range adifo.AllOrders() {
+		res, err := adifo.GenerateTests(ctx, faults, index.Order(kind),
+			adifo.WithFillSeed(adifo.DefaultFillSeed), adifo.WithValidate(true))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%d\t\n",
+			kind, len(res.Tests), 100*res.Coverage(), res.AVE(), res.AtpgCalls)
 	}
-	fmt.Println(tb.String())
+	tw.Flush()
 	fmt.Println("Expected shape (paper, Table 5): 0dynm smallest, dynm close,")
 	fmt.Println("orig larger, incr0 largest — ADI ordering is doing the compaction.")
 }

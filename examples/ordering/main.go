@@ -2,6 +2,7 @@
 // and Section 3 worked example on the lion-style circuit — the
 // ndet(u) table (Table 1), per-fault ADI values, and the first few
 // placements of the dynamic order Fdynm with their ndet updates.
+// Built entirely on the public adifo package.
 //
 // Run with:
 //
@@ -9,33 +10,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"text/tabwriter"
 
-	"github.com/eda-go/adifo/internal/adi"
-	"github.com/eda-go/adifo/internal/benchdata"
-	"github.com/eda-go/adifo/internal/fault"
-	"github.com/eda-go/adifo/internal/logic"
-	"github.com/eda-go/adifo/internal/report"
+	"github.com/eda-go/adifo"
 )
 
 func main() {
-	c, err := benchdata.Load("lion")
+	ctx := context.Background()
+
+	c, err := adifo.LoadCircuit("lion")
 	if err != nil {
 		log.Fatal(err)
 	}
-	faults := fault.CollapsedUniverse(c)
-	u := logic.ExhaustivePatterns(c.NumInputs())
-	ix := adi.Compute(faults, u)
+	faults := adifo.Faults(c)
+	u := adifo.ExhaustivePatterns(c.NumInputs())
+	ix, err := adifo.ComputeADI(ctx, faults, u)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Table 1: ndet(u) for all 16 input vectors.
-	tb := report.NewTable(
-		fmt.Sprintf("ndet(u) for %s (%d faults, exhaustive U)", c.Name, faults.Len()),
-		"u", "ndet(u)")
+	fmt.Printf("ndet(u) for %s (%d faults, exhaustive U)\n", c.Name, faults.Len())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "u\tndet(u)\t")
 	for i := 0; i < u.Len(); i++ {
-		tb.AddRow(u.Get(i).Decimal(), ix.Ndet[i])
+		fmt.Fprintf(tw, "%d\t%d\t\n", u.Get(i).Decimal(), ix.Ndet[i])
 	}
-	fmt.Println(tb.String())
+	tw.Flush()
+	fmt.Println()
 
 	// ADI(f) = min over D(f) of ndet(u): show a few faults with their
 	// detecting vectors, as in the paper's f0/f2/f15 walk-through.
@@ -52,7 +58,7 @@ func main() {
 	// fault, decrement ndet(u) for its detecting vectors, repeat.
 	fmt.Println("First five placements of Fdynm (ndet updates applied):")
 	ndet := append([]int(nil), ix.Ndet...)
-	order := ix.Order(adi.Dynm)
+	order := ix.Order(adifo.Dynm)
 	for step := 0; step < 5 && step < len(order); step++ {
 		fi := order[step]
 		cur := 0
@@ -65,7 +71,7 @@ func main() {
 		ix.Det[fi].ForEach(func(uIdx int) { ndet[uIdx]-- })
 	}
 	fmt.Println("\nStatic vs dynamic head of the order:")
-	fmt.Printf("  Fdecr: %v\n", head(ix.Order(adi.Decr), 8))
+	fmt.Printf("  Fdecr: %v\n", head(ix.Order(adifo.Decr), 8))
 	fmt.Printf("  Fdynm: %v\n", head(order, 8))
 }
 

@@ -1,5 +1,6 @@
 // Quickstart: compute the accidental detection index of a small
-// circuit, order its faults, and generate a compact test set.
+// circuit, order its faults, and generate a compact test set — using
+// only the public adifo package, the way an external consumer would.
 //
 // Run with:
 //
@@ -7,22 +8,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"github.com/eda-go/adifo/internal/adi"
-	"github.com/eda-go/adifo/internal/benchdata"
-	"github.com/eda-go/adifo/internal/fault"
-	"github.com/eda-go/adifo/internal/logic"
-	"github.com/eda-go/adifo/internal/tgen"
+	"github.com/eda-go/adifo"
 )
 
 func main() {
-	// 1. Load a circuit. ParseBench accepts any ISCAS-89 style
+	ctx := context.Background()
+
+	// 1. Load a circuit. LoadCircuit accepts an embedded benchmark
+	//    name, a synthetic suite name, or a path to an ISCAS-89 style
 	//    .bench netlist; sequential designs are converted to their
 	//    full-scan combinational core automatically. Here we use the
 	//    embedded c17.
-	c, err := benchdata.Load("c17")
+	c, err := adifo.LoadCircuit("c17")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,15 +31,18 @@ func main() {
 
 	// 2. Build the target fault set: the equivalence-collapsed single
 	//    stuck-at universe.
-	faults := fault.CollapsedUniverse(c)
+	faults := adifo.Faults(c)
 	fmt.Printf("target faults: %d\n", faults.Len())
 
 	// 3. Compute the accidental detection index from a vector set U.
 	//    c17 has 5 inputs, so we can afford the exhaustive set; on
 	//    real designs U is a few hundred random vectors (see the
 	//    compaction example).
-	u := logic.ExhaustivePatterns(c.NumInputs())
-	index := adi.Compute(faults, u)
+	u := adifo.ExhaustivePatterns(c.NumInputs())
+	index, err := adifo.ComputeADI(ctx, faults, u)
+	if err != nil {
+		log.Fatal(err)
+	}
 	mn, mx := index.MinMax()
 	fmt.Printf("ADI: min=%d max=%d ratio=%.2f\n", mn, mx, index.Ratio())
 
@@ -46,7 +50,7 @@ func main() {
 	//    detection first and updates the index as faults are placed —
 	//    the order the paper recommends for steep coverage curves;
 	//    Dynm0 is the variant for minimum test-set size.
-	order := index.Order(adi.Dynm)
+	order := index.Order(adifo.Dynm)
 	fmt.Printf("first 5 targets: ")
 	for _, fi := range order[:5] {
 		fmt.Printf("[%s ADI=%d] ", faults.Faults[fi].Name(c), index.ADI[fi])
@@ -55,7 +59,11 @@ func main() {
 
 	// 5. Generate tests in that order: PODEM per fault, random fill,
 	//    fault dropping by simulation.
-	res := tgen.Generate(faults, order, tgen.Options{FillSeed: 1, Validate: true})
+	res, err := adifo.GenerateTests(ctx, faults, order,
+		adifo.WithFillSeed(1), adifo.WithValidate(true))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("test set: %d vectors, %.1f%% fault coverage, AVE=%.2f\n",
 		len(res.Tests), 100*res.Coverage(), res.AVE())
 	for i, v := range res.Tests {

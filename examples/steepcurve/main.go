@@ -6,7 +6,8 @@
 //
 // This example generates test sets for one circuit under three
 // orders, plots the coverage curves (the paper's Figure 1), and shows
-// what happens when the last 25% of each test set is discarded.
+// what happens when the last 25% of each test set is discarded. Built
+// entirely on the public adifo package.
 //
 // Run with:
 //
@@ -14,68 +15,73 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
 
-	"github.com/eda-go/adifo/internal/adi"
-	"github.com/eda-go/adifo/internal/experiments"
-	"github.com/eda-go/adifo/internal/gen"
-	"github.com/eda-go/adifo/internal/logic"
-	"github.com/eda-go/adifo/internal/reorder"
-	"github.com/eda-go/adifo/internal/report"
-	"github.com/eda-go/adifo/internal/tgen"
+	"github.com/eda-go/adifo"
 )
 
 func main() {
-	sc, ok := gen.SuiteByName("irs344")
-	if !ok {
-		log.Fatal("suite circuit missing")
+	ctx := context.Background()
+
+	c, err := adifo.LoadCircuit("irs344")
+	if err != nil {
+		log.Fatal(err)
 	}
-	setup, err := experiments.Prepare(sc)
+	faults := adifo.Faults(c)
+	candidates := adifo.RandomPatterns(c.NumInputs(), adifo.DefaultUBudget, adifo.DefaultUSeed)
+	u, err := adifo.SizePatterns(ctx, faults, candidates, adifo.DefaultTargetCoverage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	index, err := adifo.ComputeADI(ctx, faults, u)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	kinds := []adi.OrderKind{adi.Orig, adi.Dynm, adi.Dynm0}
-	markers := map[adi.OrderKind]byte{adi.Orig: 'o', adi.Dynm: 'd', adi.Dynm0: 'z'}
-	curves := map[adi.OrderKind][]int{}
-	results := map[adi.OrderKind]*tgen.Result{}
+	kinds := []adifo.OrderKind{adifo.Orig, adifo.Dynm, adifo.Dynm0}
+	markers := map[adifo.OrderKind]byte{adifo.Orig: 'o', adifo.Dynm: 'd', adifo.Dynm0: 'z'}
+	results := map[adifo.OrderKind]*adifo.TestResult{}
 	for _, kind := range kinds {
-		res := tgen.Generate(setup.Faults, setup.Index.Order(kind), tgen.Options{
-			FillSeed: experiments.FillSeed,
-			Validate: true,
-		})
-		curves[kind] = res.Curve
+		res, err := adifo.GenerateTests(ctx, faults, index.Order(kind),
+			adifo.WithFillSeed(adifo.DefaultFillSeed), adifo.WithValidate(true))
+		if err != nil {
+			log.Fatal(err)
+		}
 		results[kind] = res
 	}
 
-	var series []report.Series
+	fmt.Printf("Fault coverage curves for %s\n", c.Name)
+	var series []curve
 	for _, kind := range kinds {
-		xs, ys := tgen.CoveragePoints(curves[kind])
-		series = append(series, report.Series{
-			Marker: markers[kind], Label: kind.String(), X: xs, Y: ys,
-		})
+		xs, ys := adifo.CoveragePoints(results[kind].Curve)
+		series = append(series, curve{marker: markers[kind], label: kind.String(), xs: xs, ys: ys})
 	}
-	fmt.Println(report.Plot(
-		fmt.Sprintf("Fault coverage curves for %s", setup.C.Name), 64, 20, series...))
+	fmt.Println(plot(64, 20, series))
 
-	tb := report.NewTable("Truncation: coverage after dropping the last 25% of tests",
-		"order", "tests", "AVE", "full cov%", "75% cov%")
+	fmt.Println("Truncation: coverage after dropping the last 25% of tests")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "order\ttests\tAVE\tfull cov%\t75% cov%\t")
 	for _, kind := range kinds {
 		res := results[kind]
-		curve := res.Curve
-		keep := len(curve) * 3 / 4
+		keep := len(res.Curve) * 3 / 4
 		if keep == 0 {
 			keep = 1
 		}
-		total := float64(setup.Faults.Len())
-		tb.AddRow(kind.String(), len(curve), res.AVE(),
-			100*float64(curve[len(curve)-1])/total,
-			100*float64(curve[keep-1])/total)
+		total := float64(faults.Len())
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.2f\t\n",
+			kind, len(res.Curve), res.AVE(),
+			100*float64(res.Curve[len(res.Curve)-1])/total,
+			100*float64(res.Curve[keep-1])/total)
 	}
-	fmt.Println(tb.String())
+	tw.Flush()
 	fmt.Println("A lower AVE means a faulty chip is detected after fewer tests;")
 	fmt.Println("the dynm order loses the least coverage when the tail is dropped.")
+	fmt.Println()
 
 	// Comparison with static test-set reordering (the method of the
 	// paper's reference [7]): greedily reorder each generated test
@@ -84,16 +90,54 @@ func main() {
 	// curve without this extra pass — and that reordering an
 	// ADI-generated set is steeper still than reordering an
 	// arbitrarily generated one.
-	tb2 := report.NewTable("Static reordering (Lin et al., the paper's [7]) on top of each order",
-		"order", "AVE as generated", "AVE after reorder")
+	fmt.Println("Static reordering (Lin et al., the paper's [7]) on top of each order")
+	tw2 := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw2, "order\tAVE as generated\tAVE after reorder\t")
 	for _, kind := range kinds {
 		res := results[kind]
-		ps := logic.NewPatternSet(setup.C.NumInputs())
+		ps := adifo.NewPatternSet(c.NumInputs())
 		for _, v := range res.Tests {
 			ps.Append(v)
 		}
-		rr := reorder.Greedy(setup.Faults, ps)
-		tb2.AddRow(kind.String(), res.AVE(), tgen.AVE(rr.Curve))
+		rr := adifo.ReorderGreedy(faults, ps)
+		fmt.Fprintf(tw2, "%s\t%.2f\t%.2f\t\n", kind, res.AVE(), adifo.AVE(rr.Curve))
 	}
-	fmt.Println(tb2.String())
+	tw2.Flush()
+}
+
+// curve is one plotted series of (x%, y%) points.
+type curve struct {
+	marker byte
+	label  string
+	xs, ys []float64
+}
+
+// plot renders the series on a w×h character grid, both axes running
+// 0-100% — a minimal stand-in for the paper's Figure 1.
+func plot(w, h int, series []curve) string {
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range series {
+		for i := range s.xs {
+			col := int(s.xs[i] / 100 * float64(w-1))
+			row := h - 1 - int(s.ys[i]/100*float64(h-1))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = s.marker
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("coverage%\n")
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", w) + "> tests%\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %c = %s\n", s.marker, s.label)
+	}
+	return b.String()
 }

@@ -1,0 +1,156 @@
+package fsim
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/eda-go/adifo/internal/benchdata"
+	"github.com/eda-go/adifo/internal/fault"
+	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/prng"
+)
+
+// countingCtx reports cancellation after Err has been polled limit
+// times, letting the sequential tests cancel deterministically mid-run
+// without goroutines or timing.
+type countingCtx struct {
+	context.Context
+	calls, limit int
+}
+
+func (c *countingCtx) Err() error {
+	c.calls++
+	if c.calls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+func c17Setup(t *testing.T, vectors int) (*fault.List, *logic.PatternSet) {
+	t.Helper()
+	c, err := benchdata.Load("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fault.CollapsedUniverse(c), logic.RandomPatterns(c.NumInputs(), vectors, prng.New(11))
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	fl, ps := c17Setup(t, 640)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := RunContext(ctx, fl, ps, Options{Mode: NoDrop})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r.VectorsUsed != 0 || len(r.Ndet) != 0 {
+		t.Fatalf("pre-cancelled run simulated %d vectors", r.VectorsUsed)
+	}
+}
+
+// TestRunContextCancelMidRun cancels a sequential run after the k-th
+// block poll and checks it stops there, with a partial result whose
+// counters cover exactly the simulated prefix.
+func TestRunContextCancelMidRun(t *testing.T) {
+	fl, ps := c17Setup(t, 640) // 10 blocks
+	const after = 3
+	ctx := &countingCtx{Context: context.Background(), limit: after}
+	r, err := RunContext(ctx, fl, ps, Options{Mode: NoDrop})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r.VectorsUsed != after*logic.WordBits {
+		t.Fatalf("VectorsUsed = %d, want %d (stop within one block of the cancel)",
+			r.VectorsUsed, after*logic.WordBits)
+	}
+	if len(r.Ndet) != r.VectorsUsed {
+		t.Fatalf("Ndet length %d, VectorsUsed %d", len(r.Ndet), r.VectorsUsed)
+	}
+	// The partial prefix must agree with an uncancelled run truncated
+	// to the same vectors.
+	full := Run(fl, ps, Options{Mode: NoDrop})
+	for u := 0; u < r.VectorsUsed; u++ {
+		if r.Ndet[u] != full.Ndet[u] {
+			t.Fatalf("partial ndet(%d) = %d, full run has %d", u, r.Ndet[u], full.Ndet[u])
+		}
+	}
+	for fi := range fl.Faults {
+		if fd := r.FirstDet[fi]; fd >= 0 && fd != full.FirstDet[fi] {
+			t.Fatalf("partial FirstDet[%d] = %d, full run has %d", fi, fd, full.FirstDet[fi])
+		}
+	}
+}
+
+// TestRunParallelCtxCancelMidRun cancels a sharded run from the
+// progress callback at a block barrier and checks the run stops within
+// one further block, leaking no goroutines.
+func TestRunParallelCtxCancelMidRun(t *testing.T) {
+	fl, ps := c17Setup(t, 1024) // 16 blocks
+	for _, workers := range []int{1, 3, 8} {
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		const cancelAt = 2
+		r, err := RunParallelCtx(ctx, fl, ps, ParallelOptions{
+			Options: Options{Mode: NoDrop},
+			Workers: workers,
+			Progress: func(p Progress) {
+				if p.Block == cancelAt {
+					cancel()
+				}
+			},
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// The cancel lands at the barrier of block cancelAt; the poll at
+		// the head of the next block stops the run.
+		if want := (cancelAt + 1) * logic.WordBits; r.VectorsUsed != want {
+			t.Fatalf("workers=%d: VectorsUsed = %d, want %d", workers, r.VectorsUsed, want)
+		}
+		if len(r.Ndet) != r.VectorsUsed {
+			t.Fatalf("workers=%d: Ndet length %d, VectorsUsed %d", workers, len(r.Ndet), r.VectorsUsed)
+		}
+		cancel()
+		// Workers are joined at the block barrier, so nothing should
+		// outlive the call; allow the runtime a moment to retire stacks.
+		leakDeadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(leakDeadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if now := runtime.NumGoroutine(); now > before {
+			t.Fatalf("workers=%d: goroutines %d -> %d after cancelled run", workers, before, now)
+		}
+	}
+}
+
+// TestRunParallelCtxComplete checks the nil-error contract and result
+// equality with the sequential path on an uncancelled context.
+func TestRunParallelCtxComplete(t *testing.T) {
+	fl, ps := c17Setup(t, 320)
+	r, err := RunParallelCtx(context.Background(), fl, ps, ParallelOptions{
+		Options: Options{Mode: Drop},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatalf("uncancelled run returned %v", err)
+	}
+	want := Run(fl, ps, Options{Mode: Drop})
+	if r.VectorsUsed != want.VectorsUsed || r.DetectedCount() != want.DetectedCount() {
+		t.Fatalf("parallel ctx run diverged: %d/%d vs %d/%d",
+			r.VectorsUsed, r.DetectedCount(), want.VectorsUsed, want.DetectedCount())
+	}
+}
+
+func TestParseModeRejectsEmpty(t *testing.T) {
+	if _, err := ParseMode(""); err == nil {
+		t.Fatal("ParseMode(\"\") must be rejected; the default lives at the API boundary")
+	}
+	for name, want := range map[string]Mode{"nodrop": NoDrop, "drop": Drop, "ndetect": NDetect} {
+		got, err := ParseMode(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", name, got, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package fsim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/eda-go/adifo/internal/fault"
@@ -41,10 +42,13 @@ func (m Mode) String() string {
 }
 
 // ParseMode maps a mode name (as produced by Mode.String) back to its
-// Mode value.
+// Mode value. The empty string is rejected: defaulting is an API-layer
+// decision (the adifo facade defaults to NoDrop via its option zero
+// value, the service requires an explicit mode on the wire), not a
+// parsing rule.
 func ParseMode(name string) (Mode, error) {
 	switch name {
-	case "nodrop", "":
+	case "nodrop":
 		return NoDrop, nil
 	case "drop":
 		return Drop, nil
@@ -117,8 +121,20 @@ func (r *Result) Coverage() float64 {
 }
 
 // Run simulates every fault of fl against the vectors of ps under the
-// given options and returns the collected statistics.
+// given options and returns the collected statistics. It is
+// RunContext without cancellation.
 func Run(fl *fault.List, ps *logic.PatternSet, opts Options) *Result {
+	r, _ := RunContext(context.Background(), fl, ps, opts)
+	return r
+}
+
+// RunContext is Run with cooperative cancellation: ctx is polled at
+// every 64-pattern block boundary, so a cancelled run stops within one
+// block of work. On cancellation it returns the partial result
+// accumulated so far (vectors simulated before the cancelled block are
+// fully accounted) together with ctx.Err(); the error is nil on a
+// completed run.
+func RunContext(ctx context.Context, fl *fault.List, ps *logic.PatternSet, opts Options) (*Result, error) {
 	c := fl.Circuit
 	if ps.Inputs() != c.NumInputs() {
 		panic(fmt.Sprintf("fsim: pattern set has %d inputs, circuit has %d", ps.Inputs(), c.NumInputs()))
@@ -156,6 +172,10 @@ func Run(fl *fault.List, ps *logic.PatternSet, opts Options) *Result {
 	dropped := 0
 
 	for block := 0; block < ps.Blocks(); block++ {
+		if err := ctx.Err(); err != nil {
+			r.Ndet = r.Ndet[:r.VectorsUsed]
+			return r, err
+		}
 		gs.SimulateBlock(ps, block)
 		mask := ps.BlockMask(block)
 		base := block * logic.WordBits
@@ -207,7 +227,7 @@ func Run(fl *fault.List, ps *logic.PatternSet, opts Options) *Result {
 		}
 	}
 	r.Ndet = r.Ndet[:r.VectorsUsed]
-	return r
+	return r, nil
 }
 
 // Incremental is the stateful fault simulator used inside the test

@@ -1,6 +1,7 @@
 package fsim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -104,7 +105,21 @@ func RunParallel(fl *fault.List, ps *logic.PatternSet, workers int) *Result {
 //
 // fl is never mutated and may be shared (cached) across concurrent
 // runs; each run carries its drop state in a private fault.ActiveSet.
+//
+// It is RunParallelCtx without cancellation.
 func RunParallelWith(fl *fault.List, ps *logic.PatternSet, po ParallelOptions) *Result {
+	r, _ := RunParallelCtx(context.Background(), fl, ps, po)
+	return r
+}
+
+// RunParallelCtx is RunParallelWith with cooperative cancellation: ctx
+// is polled at every block barrier, before the workers are dispatched
+// for the next block, so a cancelled run stops within one 64-pattern
+// block of work and leaks no goroutines (workers are per-block and
+// always joined at the barrier). On cancellation it returns the
+// partial result together with ctx.Err(); the error is nil on a
+// completed run.
+func RunParallelCtx(ctx context.Context, fl *fault.List, ps *logic.PatternSet, po ParallelOptions) (*Result, error) {
 	c := fl.Circuit
 	if ps.Inputs() != c.NumInputs() {
 		panic("fsim: pattern set width mismatch")
@@ -170,6 +185,10 @@ func RunParallelWith(fl *fault.List, ps *logic.PatternSet, po ParallelOptions) *
 
 	var wg sync.WaitGroup
 	for block := 0; block < ps.Blocks(); block++ {
+		if err := ctx.Err(); err != nil {
+			r.Ndet = r.Ndet[:r.VectorsUsed]
+			return r, err
+		}
 		var goodVals []uint64
 		if po.Good != nil {
 			goodVals = po.Good.Block(block)
@@ -273,5 +292,5 @@ func RunParallelWith(fl *fault.List, ps *logic.PatternSet, po ParallelOptions) *
 		}
 	}
 	r.Ndet = r.Ndet[:r.VectorsUsed]
-	return r
+	return r, nil
 }

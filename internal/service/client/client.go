@@ -35,8 +35,18 @@ func New(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
-type apiError struct {
-	Error string `json:"error"`
+// decodeError turns a non-2xx response into a *service.APIError when
+// the body carries the v1 error envelope, so callers can inspect the
+// machine-readable code with errors.As; responses without an envelope
+// (proxies, panics) degrade to a plain error with the HTTP status.
+func decodeError(method, path string, resp *http.Response) error {
+	var env struct {
+		Err service.APIError `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&env) == nil && env.Err.Code != "" {
+		return fmt.Errorf("%s %s (HTTP %d): %w", method, path, resp.StatusCode, &env.Err)
+	}
+	return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
@@ -61,11 +71,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		var ae apiError
-		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
-			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		return decodeError(method, path, resp)
 	}
 	if out == nil {
 		return nil
@@ -88,6 +94,17 @@ func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (string, erro
 func (c *Client) Status(ctx context.Context, id string) (service.JobStatus, error) {
 	var st service.JobStatus
 	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel aborts a queued or running job and returns its status as of
+// the request (a running job transitions to cancelled at its next
+// block barrier; use Stream or Wait to observe the terminal state).
+// Cancelling a job that already finished yields a *service.APIError
+// with code "finished".
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
 	return st, err
 }
 
@@ -128,11 +145,7 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(service.Progress
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var ae apiError
-		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
-			return service.JobStatus{}, fmt.Errorf("stream %s: %s (HTTP %d)", id, ae.Error, resp.StatusCode)
-		}
-		return service.JobStatus{}, fmt.Errorf("stream %s: HTTP %d", id, resp.StatusCode)
+		return service.JobStatus{}, decodeError(http.MethodGet, "/v1/jobs/"+id+"/stream", resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -174,7 +187,8 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (servi
 		if err != nil {
 			return st, err
 		}
-		if st.State == service.StateDone || st.State == service.StateFailed {
+		if st.State == service.StateDone || st.State == service.StateFailed ||
+			st.State == service.StateCancelled {
 			return st, nil
 		}
 		select {

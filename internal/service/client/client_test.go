@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -59,6 +60,7 @@ func TestClientStream(t *testing.T) {
 	id, err := cl.Submit(ctx, service.JobSpec{
 		Circuit:  "c17",
 		Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 640, Seed: 9}},
+		Mode:     "nodrop",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +86,7 @@ func TestClientStatsAfterRepeat(t *testing.T) {
 	spec := service.JobSpec{
 		Circuit:  "lion",
 		Patterns: service.PatternSpec{Exhaustive: true},
+		Mode:     "nodrop",
 	}
 	for i := 0; i < 2; i++ {
 		id, err := cl.Submit(ctx, spec)
@@ -117,5 +120,56 @@ func TestClientErrors(t *testing.T) {
 	}
 	if _, err := cl.Stream(ctx, "j999", nil); err == nil {
 		t.Fatal("unknown stream must error")
+	}
+}
+
+// TestClientTypedErrors checks that non-2xx responses surface as
+// *service.APIError with the machine-readable code, via errors.As.
+func TestClientTypedErrors(t *testing.T) {
+	cl, _ := newServer(t)
+	ctx := context.Background()
+
+	_, err := cl.Status(ctx, "j999")
+	var ae *service.APIError
+	if !errors.As(err, &ae) || ae.Code != service.CodeNotFound {
+		t.Fatalf("status of unknown job: %v (want APIError code not_found)", err)
+	}
+
+	_, err = cl.Submit(ctx, service.JobSpec{
+		Circuit:  "c17",
+		Patterns: service.PatternSpec{Exhaustive: true},
+		// Mode deliberately empty: the wire contract rejects it.
+	})
+	if !errors.As(err, &ae) || ae.Code != service.CodeInvalidRequest {
+		t.Fatalf("empty-mode submit: %v (want APIError code invalid_request)", err)
+	}
+
+	_, err = cl.Cancel(ctx, "j999")
+	if !errors.As(err, &ae) || ae.Code != service.CodeNotFound {
+		t.Fatalf("cancel of unknown job: %v (want APIError code not_found)", err)
+	}
+}
+
+// TestClientCancel cancels a finished job (deterministic) and checks
+// the finished conflict comes back typed; the running-cancel path is
+// covered end-to-end by the service HTTP tests.
+func TestClientCancel(t *testing.T) {
+	cl, _ := newServer(t)
+	ctx := context.Background()
+	id, err := cl.Submit(ctx, service.JobSpec{
+		Circuit:  "c17",
+		Patterns: service.PatternSpec{Exhaustive: true},
+		Mode:     "nodrop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := cl.Wait(ctx, id, time.Millisecond); err != nil || st.State != service.StateDone {
+		t.Fatalf("wait: %v, %+v", err, st)
+	}
+	_, err = cl.Cancel(ctx, id)
+	var ae *service.APIError
+	if !errors.As(err, &ae) || ae.Code != service.CodeFinished {
+		t.Fatalf("cancel finished job: %v (want APIError code finished)", err)
 	}
 }

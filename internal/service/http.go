@@ -6,41 +6,98 @@ import (
 	"net/http"
 )
 
+// Error codes of the v1 wire contract. Every non-2xx response carries
+// exactly one of them in the error envelope.
+const (
+	CodeInvalidRequest = "invalid_request" // malformed JSON or rejected spec
+	CodeNotFound       = "not_found"       // unknown job id
+	CodeNotDone        = "not_done"        // result requested before the job finished
+	CodeCancelled      = "cancelled"       // job was cancelled, it has no result
+	CodeFinished       = "finished"        // cancel requested after the job finished
+	CodeJobFailed      = "job_failed"      // the job itself failed
+)
+
+// APIError is the typed error of the v1 wire contract. Handlers send
+// it as {"error": {"code": ..., "message": ...}} and the client
+// package decodes it back, so callers can switch on Code with
+// errors.As instead of string-matching messages.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string { return e.Code + ": " + e.Message }
+
+// Is maps wire codes back to the package's sentinel errors, so
+// errors.Is(err, ErrNotFound) etc. hold for a decoded remote error
+// exactly as they do for a local call — the Grader interface's error
+// contract is implementation-independent.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrNotFound:
+		return e.Code == CodeNotFound
+	case ErrNotDone:
+		return e.Code == CodeNotDone
+	case ErrCancelled:
+		return e.Code == CodeCancelled
+	case ErrFinished:
+		return e.Code == CodeFinished
+	}
+	return false
+}
+
+// errorEnvelope is the JSON shape of every non-2xx response.
+type errorEnvelope struct {
+	Err APIError `json:"error"`
+}
+
 // Handler returns the HTTP+JSON API of the service, the surface
 // cmd/adifod listens on and the client package talks to:
 //
-//	POST /v1/jobs             submit a JobSpec, returns {"id": ...}
-//	GET  /v1/jobs             list job statuses
-//	GET  /v1/jobs/{id}        poll one job's status
-//	GET  /v1/jobs/{id}/result fetch a finished job's JobResult
-//	GET  /v1/jobs/{id}/stream newline-delimited JSON ProgressEvents,
-//	                          one per 64-pattern block, until the job
-//	                          finishes (the last line is the final
-//	                          JobStatus)
-//	GET  /v1/stats            service and registry cache counters
-//	GET  /healthz             liveness probe
+//	POST   /v1/jobs             submit a JobSpec, returns {"id": ...}
+//	GET    /v1/jobs             list job statuses
+//	GET    /v1/jobs/{id}        poll one job's status
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/result fetch a finished job's JobResult
+//	GET    /v1/jobs/{id}/stream newline-delimited JSON ProgressEvents,
+//	                            one per 64-pattern block, until the job
+//	                            reaches a terminal state (the last line
+//	                            is the final JobStatus)
+//	GET    /v1/stats            service and registry cache counters
+//	GET    /healthz             liveness probe
+//
+// Every non-2xx response is the error envelope
+// {"error": {"code": ..., "message": ...}} with one of the Code*
+// constants.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON encodes v as the response body. Encode failures cannot be
+// reported to the peer (the status line is already written) but are
+// not swallowed either: they reach the service's configured logger.
+func (s *Service) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("service: encoding HTTP %d response: %v", code, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+func (s *Service) writeError(w http.ResponseWriter, httpCode int, apiCode string, err error) {
+	s.writeJSON(w, httpCode, errorEnvelope{Err: APIError{Code: apiCode, Message: err.Error()}})
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -48,28 +105,46 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	id, err := s.Submit(spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	s.writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Jobs())
+	s.writeJSON(w, http.StatusOK, s.Jobs())
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.Status(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, ErrNotFound)
+		s.writeError(w, http.StatusNotFound, CodeNotFound, ErrNotFound)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+// handleCancel aborts a job. Cancelling a queued job (or one already
+// cancelled) returns its status; cancelling a running job returns the
+// status as of the request, with the terminal transition following at
+// the next block barrier. A job that already finished is a conflict.
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		s.writeJSON(w, http.StatusOK, st)
+	case errors.Is(err, ErrNotFound):
+		s.writeError(w, http.StatusNotFound, CodeNotFound, err)
+	case errors.Is(err, ErrFinished):
+		s.writeError(w, http.StatusConflict, CodeFinished, err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, CodeJobFailed, err)
+	}
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -77,24 +152,27 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	res, err := s.Result(id)
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, res)
+		s.writeJSON(w, http.StatusOK, res)
 	case errors.Is(err, ErrNotFound):
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, http.StatusNotFound, CodeNotFound, err)
 	case errors.Is(err, ErrNotDone):
-		writeError(w, http.StatusConflict, err)
+		s.writeError(w, http.StatusConflict, CodeNotDone, err)
+	case errors.Is(err, ErrCancelled):
+		s.writeError(w, http.StatusConflict, CodeCancelled, err)
 	default:
 		// The job itself failed.
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeError(w, http.StatusUnprocessableEntity, CodeJobFailed, err)
 	}
 }
 
 // handleStream writes one JSON line per block barrier as the job runs
-// and a final JobStatus line when it reaches a terminal state.
+// and a final JobStatus line when it reaches a terminal state
+// (including cancellation, whose final line reads state "cancelled").
 func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ch, cancel, ok := s.Subscribe(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, ErrNotFound)
+		s.writeError(w, http.StatusNotFound, CodeNotFound, ErrNotFound)
 		return
 	}
 	defer cancel()
@@ -117,17 +195,22 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 		case ev, open := <-ch:
 			if !open {
 				if st, ok := s.Status(id); ok {
-					enc.Encode(st)
+					if err := enc.Encode(st); err != nil {
+						s.logf("service: encoding final stream status for %s: %v", id, err)
+					}
 				}
 				flush()
 				return
 			}
-			enc.Encode(ev)
+			if err := enc.Encode(ev); err != nil {
+				s.logf("service: encoding stream event for %s: %v", id, err)
+				return
+			}
 			flush()
 		}
 	}
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	s.writeJSON(w, http.StatusOK, s.Stats())
 }

@@ -163,6 +163,7 @@ func TestHTTPStream(t *testing.T) {
 	id := postJob(t, srv, JobSpec{
 		Circuit:  "c17",
 		Patterns: PatternSpec{Random: &RandomSpec{N: 640, Seed: 5}},
+		Mode:     "nodrop",
 	})
 	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/stream")
 	if err != nil {
@@ -240,6 +241,7 @@ func TestHTTPErrors(t *testing.T) {
 	id := postJob(t, srv, JobSpec{
 		Circuit:  "no-such-circuit",
 		Patterns: PatternSpec{Random: &RandomSpec{N: 8, Seed: 1}},
+		Mode:     "nodrop",
 	})
 	if st := pollDone(t, srv, id); st.State != StateFailed {
 		t.Fatalf("want failed, got %+v", st)
@@ -255,5 +257,153 @@ func TestHTTPErrors(t *testing.T) {
 	var jobs []JobStatus
 	if code := getJSON(t, srv.URL+"/v1/jobs", &jobs); code != http.StatusOK || len(jobs) == 0 {
 		t.Fatalf("list: HTTP %d, %d jobs", code, len(jobs))
+	}
+}
+
+// decodeEnvelope reads the v1 error envelope off a response.
+func decodeEnvelope(t *testing.T, resp *http.Response) APIError {
+	t.Helper()
+	defer resp.Body.Close()
+	var env struct {
+		Err APIError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("response is not the error envelope: %v", err)
+	}
+	if env.Err.Code == "" || env.Err.Message == "" {
+		t.Fatalf("incomplete envelope: %+v", env.Err)
+	}
+	return env.Err
+}
+
+func doDelete(t *testing.T, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestHTTPErrorEnvelope checks that every error path speaks the typed
+// {"error": {"code", "message"}} contract.
+func TestHTTPErrorEnvelope(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/j999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ae := decodeEnvelope(t, resp); ae.Code != CodeNotFound {
+		t.Fatalf("unknown job code %q, want %q", ae.Code, CodeNotFound)
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"circuit":"c17","patterns":{"exhaustive":true}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty mode: HTTP %d, want 400", resp.StatusCode)
+	}
+	if ae := decodeEnvelope(t, resp); ae.Code != CodeInvalidRequest {
+		t.Fatalf("empty mode code %q, want %q", ae.Code, CodeInvalidRequest)
+	}
+
+	if resp := doDelete(t, srv.URL+"/v1/jobs/j999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delete unknown: HTTP %d", resp.StatusCode)
+	} else if ae := decodeEnvelope(t, resp); ae.Code != CodeNotFound {
+		t.Fatalf("delete unknown code %q", ae.Code)
+	}
+}
+
+// TestHTTPCancel drives the acceptance flow: DELETE a running job,
+// watch its stream terminate with a cancelled status, and check the
+// conflict envelopes for result-after-cancel and cancel-after-done.
+func TestHTTPCancel(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	id := postJob(t, srv, slowSpec())
+
+	// Open the stream first so the terminal line is observed.
+	streamResp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	sc := bufio.NewScanner(streamResp.Body)
+	// First line: the job is running.
+	if !sc.Scan() {
+		t.Fatal("stream closed before first event")
+	}
+
+	resp := doDelete(t, srv.URL+"/v1/jobs/"+id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel running job: HTTP %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Drain the stream; the final line must be a cancelled JobStatus.
+	lines := []string{strings.TrimSpace(sc.Text())}
+	for sc.Scan() {
+		if l := strings.TrimSpace(sc.Text()); l != "" {
+			lines = append(lines, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &st); err != nil {
+		t.Fatalf("final stream line %q: %v", lines[len(lines)-1], err)
+	}
+	if st.ID != id || st.State != StateCancelled {
+		t.Fatalf("stream terminal status %+v, want cancelled", st)
+	}
+
+	// Result of a cancelled job is a conflict with code "cancelled".
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result after cancel: HTTP %d, want 409", resp.StatusCode)
+	}
+	if ae := decodeEnvelope(t, resp); ae.Code != CodeCancelled {
+		t.Fatalf("result after cancel code %q, want %q", ae.Code, CodeCancelled)
+	}
+
+	// Repeat DELETE is idempotent.
+	resp = doDelete(t, srv.URL+"/v1/jobs/"+id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat cancel: HTTP %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Cancelling a finished job is a conflict with code "finished".
+	done := postJob(t, srv, JobSpec{
+		Circuit:  "c17",
+		Patterns: PatternSpec{Exhaustive: true},
+		Mode:     "nodrop",
+	})
+	if st := pollDone(t, srv, done); st.State != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	resp = doDelete(t, srv.URL+"/v1/jobs/"+done)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel finished job: HTTP %d, want 409", resp.StatusCode)
+	}
+	if ae := decodeEnvelope(t, resp); ae.Code != CodeFinished {
+		t.Fatalf("cancel finished code %q, want %q", ae.Code, CodeFinished)
 	}
 }

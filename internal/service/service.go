@@ -3,9 +3,11 @@
 // artifacts that are expensive to derive and safe to share (parsed
 // circuits, collapsed fault lists, good-machine simulations), a
 // bounded pool runs grading jobs through the sharded simulator
-// (fsim.RunParallelWith), and a small job API — submit, status,
-// result, per-block progress stream — is exposed over HTTP by
-// cmd/adifod and consumed by the client package.
+// (fsim.RunParallelCtx), and a small job API — submit, status,
+// result, cancel, per-block progress stream — is exposed over HTTP by
+// cmd/adifod and consumed by the client package. Every job carries a
+// cancellable context: Cancel aborts a queued job immediately and a
+// running job at its next 64-pattern block barrier.
 //
 // Everything a job shares is read-only: circuits and fault lists are
 // immutable after construction, good values are written once under the
@@ -15,9 +17,11 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"runtime"
 	"sync"
 
@@ -43,6 +47,10 @@ type Config struct {
 	// finished jobs are evicted first, queued and running jobs are
 	// never evicted (default 1024).
 	MaxRetainedJobs int
+	// Logf receives diagnostics the service cannot surface to any
+	// caller, such as response-encoding failures after the status line
+	// was sent (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 // JobSpec is a fault-grading request. Exactly one of Circuit (a named
@@ -55,8 +63,9 @@ type JobSpec struct {
 	// their own name).
 	Name     string      `json:"name,omitempty"`
 	Patterns PatternSpec `json:"patterns"`
-	// Mode is the dropping policy: "nodrop" (default), "drop" or
-	// "ndetect".
+	// Mode is the dropping policy: "nodrop", "drop" or "ndetect".
+	// Required — the wire contract has no silent default; requests
+	// with an empty mode are rejected.
 	Mode string `json:"mode,omitempty"`
 	// N is the drop threshold for ndetect mode.
 	N int `json:"n,omitempty"`
@@ -85,13 +94,20 @@ type RandomSpec struct {
 	Seed uint64 `json:"seed"`
 }
 
-// Job states.
+// Job states. Queued and running jobs may still change state; done,
+// failed and cancelled are terminal.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
 )
+
+// terminal reports whether a job state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
 
 // JobStatus is the pollable view of a job. Progress fields update at
 // every 64-pattern block barrier.
@@ -158,14 +174,17 @@ type Stats struct {
 	JobsSubmitted uint64        `json:"jobs_submitted"`
 	JobsDone      uint64        `json:"jobs_done"`
 	JobsFailed    uint64        `json:"jobs_failed"`
+	JobsCancelled uint64        `json:"jobs_cancelled"`
 	JobsRunning   int           `json:"jobs_running"`
 	JobsQueued    int           `json:"jobs_queued"`
 }
 
-// Errors returned by Result.
+// Errors returned by Result and Cancel.
 var (
-	ErrNotFound = errors.New("service: job not found")
-	ErrNotDone  = errors.New("service: job not finished")
+	ErrNotFound  = errors.New("service: job not found")
+	ErrNotDone   = errors.New("service: job not finished")
+	ErrCancelled = errors.New("service: job cancelled")
+	ErrFinished  = errors.New("service: job already finished")
 )
 
 // Service is the concurrent fault-grading engine.
@@ -182,12 +201,18 @@ type Service struct {
 	submitted uint64
 	done      uint64
 	failed    uint64
+	cancelled uint64
 }
 
 type job struct {
 	id   string
 	spec JobSpec
 	opts fsim.Options
+
+	// ctx governs the job's simulation; cancel is invoked by
+	// Service.Cancel and aborts the run at the next block barrier.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu     sync.Mutex
 	status JobStatus
@@ -212,6 +237,9 @@ func New(cfg Config) *Service {
 	if cfg.MaxRetainedJobs <= 0 {
 		cfg.MaxRetainedJobs = 1024
 	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
 	return &Service{
 		cfg:  cfg,
 		reg:  NewRegistry(cfg.CircuitCache, cfg.GoodCache),
@@ -223,12 +251,21 @@ func New(cfg Config) *Service {
 // Registry exposes the cache (stats and pre-warming).
 func (s *Service) Registry() *Registry { return s.reg }
 
+// logf forwards to the configured diagnostic logger.
+func (s *Service) logf(format string, args ...any) { s.cfg.Logf(format, args...) }
+
 // Submit validates spec, enqueues a job and returns its id. The job
 // runs asynchronously on the bounded pool; resolution errors (bad
 // netlist, unknown name) surface as a failed job status.
 func (s *Service) Submit(spec JobSpec) (string, error) {
 	if _, err := CircuitKey(spec); err != nil {
 		return "", err
+	}
+	if spec.Mode == "" {
+		// No silent default on the wire: a request must say what it
+		// wants. Library callers get the NoDrop default from the adifo
+		// facade's options instead.
+		return "", fmt.Errorf("mode is required (nodrop, drop or ndetect)")
 	}
 	mode, err := fsim.ParseMode(spec.Mode)
 	if err != nil {
@@ -248,10 +285,13 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 	s.seq++
 	s.submitted++
 	id := fmt.Sprintf("j%d", s.seq)
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id:   id,
-		spec: spec,
-		opts: fsim.Options{Mode: mode, N: spec.N, StopAtCoverage: spec.StopAtCoverage},
+		id:     id,
+		spec:   spec,
+		opts:   fsim.Options{Mode: mode, N: spec.N, StopAtCoverage: spec.StopAtCoverage},
+		ctx:    ctx,
+		cancel: cancel,
 		status: JobStatus{
 			ID:    id,
 			State: StateQueued,
@@ -296,7 +336,8 @@ func (s *Service) Jobs() []JobStatus {
 
 // Result returns the grading outcome of a finished job. It returns
 // ErrNotFound for unknown ids, ErrNotDone while the job is queued or
-// running, and the job's failure for failed jobs.
+// running, ErrCancelled for cancelled jobs, and the job's failure for
+// failed jobs.
 func (s *Service) Result(id string) (*JobResult, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -311,8 +352,62 @@ func (s *Service) Result(id string) (*JobResult, error) {
 		return j.result, nil
 	case StateFailed:
 		return nil, fmt.Errorf("service: job %s failed: %s", id, j.status.Error)
+	case StateCancelled:
+		return nil, fmt.Errorf("%w (job %s)", ErrCancelled, id)
 	}
 	return nil, ErrNotDone
+}
+
+// Cancel aborts a job. A queued job transitions to cancelled
+// immediately; a running job is interrupted at its next block barrier
+// and transitions shortly after (poll Status or consume Subscribe to
+// observe the terminal state). Cancel is idempotent on already
+// cancelled jobs. It returns ErrNotFound for unknown ids and
+// ErrFinished for jobs that already completed or failed; the returned
+// status is the job's state as of the call.
+func (s *Service) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	// Signal first: if the run goroutine is between barriers it will
+	// observe the cancellation at the next one.
+	j.cancel()
+
+	j.mu.Lock()
+	switch j.status.State {
+	case StateDone, StateFailed:
+		st := j.status
+		j.mu.Unlock()
+		return st, ErrFinished
+	case StateCancelled:
+		st := j.status
+		j.mu.Unlock()
+		return st, nil
+	case StateQueued:
+		// The run goroutine has not claimed the job yet; finalize here
+		// so the slot it would have used is never consumed. run()
+		// observes the terminal state and returns without working.
+		j.status.State = StateCancelled
+		subs := j.subs
+		j.subs = nil
+		st := j.status
+		j.mu.Unlock()
+		for _, ch := range subs {
+			close(ch)
+		}
+		s.mu.Lock()
+		s.cancelled++
+		s.mu.Unlock()
+		return st, nil
+	}
+	// Running: the simulation stops within one block; the run
+	// goroutine performs the terminal transition.
+	st := j.status
+	j.mu.Unlock()
+	return st, nil
 }
 
 // Subscribe returns a channel of per-block progress events for a job
@@ -329,8 +424,7 @@ func (s *Service) Subscribe(id string) (<-chan ProgressEvent, func(), bool) {
 	}
 	ch := make(chan ProgressEvent, 16)
 	j.mu.Lock()
-	terminal := j.status.State == StateDone || j.status.State == StateFailed
-	if terminal {
+	if terminal(j.status.State) {
 		close(ch)
 	} else {
 		j.subs = append(j.subs, ch)
@@ -358,6 +452,7 @@ func (s *Service) Stats() Stats {
 		JobsSubmitted: s.submitted,
 		JobsDone:      s.done,
 		JobsFailed:    s.failed,
+		JobsCancelled: s.cancelled,
 	}
 	for _, j := range s.jobs {
 		j.mu.Lock()
@@ -390,9 +485,9 @@ func (s *Service) evictOldJobsLocked() {
 	for _, id := range s.order {
 		j := s.jobs[id]
 		j.mu.Lock()
-		terminal := j.status.State == StateDone || j.status.State == StateFailed
+		done := terminal(j.status.State)
 		j.mu.Unlock()
-		if excess > 0 && terminal {
+		if excess > 0 && done {
 			delete(s.jobs, id)
 			excess--
 			continue
@@ -414,14 +509,27 @@ func (s *Service) run(j *job) {
 	defer func() { <-s.sem }()
 
 	// Running covers circuit resolution too: generating a synthetic
-	// suite circuit can take seconds and must not look queued.
+	// suite circuit can take seconds and must not look queued. A job
+	// cancelled while queued was already finalized by Cancel; do not
+	// resurrect it.
 	j.mu.Lock()
+	if terminal(j.status.State) {
+		j.mu.Unlock()
+		return
+	}
 	j.status.State = StateRunning
 	j.mu.Unlock()
 
 	entry, err := s.reg.CircuitFor(j.spec)
 	if err != nil {
 		s.fail(j, err)
+		return
+	}
+	// A cancel that lands during circuit resolution aborts the job but
+	// not the registry build: the entry stays cached and consistent for
+	// the next submission of the same circuit.
+	if j.ctx.Err() != nil {
+		s.finishCancelled(j)
 		return
 	}
 	ps, patternKey, err := buildPatterns(entry.Circuit.NumInputs(), j.spec.Patterns)
@@ -451,12 +559,16 @@ func (s *Service) run(j *job) {
 	if workers <= 0 || workers > s.cfg.SimWorkers {
 		workers = s.cfg.SimWorkers
 	}
-	res := fsim.RunParallelWith(entry.Faults, ps, fsim.ParallelOptions{
+	res, err := fsim.RunParallelCtx(j.ctx, entry.Faults, ps, fsim.ParallelOptions{
 		Options:  j.opts,
 		Workers:  workers,
 		Good:     good,
 		Progress: func(p fsim.Progress) { j.publish(p) },
 	})
+	if err != nil {
+		s.finishCancelled(j)
+		return
+	}
 
 	result := buildResult(j, entry, ps.Len(), res)
 	j.mu.Lock()
@@ -477,8 +589,8 @@ func (s *Service) run(j *job) {
 
 func (s *Service) fail(j *job, err error) {
 	j.mu.Lock()
-	if j.status.State == StateFailed {
-		// Already failed (e.g. the recover path after fail).
+	if terminal(j.status.State) {
+		// Already terminal (e.g. the recover path after fail).
 		j.mu.Unlock()
 		return
 	}
@@ -492,6 +604,27 @@ func (s *Service) fail(j *job, err error) {
 	}
 	s.mu.Lock()
 	s.failed++
+	s.mu.Unlock()
+}
+
+// finishCancelled performs the terminal transition of a running job
+// whose context was cancelled: subscribers see their channel close and
+// the final status reads cancelled.
+func (s *Service) finishCancelled(j *job) {
+	j.mu.Lock()
+	if terminal(j.status.State) {
+		j.mu.Unlock()
+		return
+	}
+	j.status.State = StateCancelled
+	subs := j.subs
+	j.subs = nil
+	j.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+	s.mu.Lock()
+	s.cancelled++
 	s.mu.Unlock()
 }
 

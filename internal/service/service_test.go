@@ -114,6 +114,7 @@ func TestRepeatSubmissionHitsCaches(t *testing.T) {
 	spec := JobSpec{
 		Circuit:  "lion",
 		Patterns: PatternSpec{Exhaustive: true},
+		Mode:     "nodrop",
 	}
 	for i := 0; i < 3; i++ {
 		id, err := s.Submit(spec)
@@ -148,7 +149,7 @@ func TestSubmitValidation(t *testing.T) {
 		{Circuit: "c17", Patterns: PatternSpec{Random: &RandomSpec{N: 8}}, Mode: "bogus"},
 		{Circuit: "c17", Patterns: PatternSpec{Random: &RandomSpec{N: 8}}, Mode: "ndetect"},    // missing n
 		{Circuit: "c17", Patterns: PatternSpec{Random: &RandomSpec{N: 8}}, Mode: "drop", N: 3}, // n without ndetect
-		{Circuit: "c17", Patterns: PatternSpec{Vectors: []string{"01"}}},                       // width checked at run time...
+		{Circuit: "c17", Patterns: PatternSpec{Vectors: []string{"01"}}, Mode: "nodrop"},       // width checked at run time...
 	}
 	for i, spec := range bad[:len(bad)-1] {
 		if _, err := s.Submit(spec); err == nil {
@@ -176,6 +177,7 @@ func TestUnknownCircuitFailsJob(t *testing.T) {
 	id, err := s.Submit(JobSpec{
 		Circuit:  "no-such-circuit",
 		Patterns: PatternSpec{Random: &RandomSpec{N: 8, Seed: 1}},
+		Mode:     "nodrop",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -191,7 +193,7 @@ func TestUnknownCircuitFailsJob(t *testing.T) {
 func TestJobRetention(t *testing.T) {
 	s := New(Config{MaxRetainedJobs: 3})
 	defer s.Close()
-	spec := JobSpec{Circuit: "lion", Patterns: PatternSpec{Exhaustive: true}}
+	spec := JobSpec{Circuit: "lion", Patterns: PatternSpec{Exhaustive: true}, Mode: "nodrop"}
 	var ids []string
 	for i := 0; i < 6; i++ {
 		id, err := s.Submit(spec)
@@ -234,6 +236,7 @@ func TestSubscribeStreamsBlocks(t *testing.T) {
 	id, err := s.Submit(JobSpec{
 		Circuit:  "c17",
 		Patterns: PatternSpec{Random: &RandomSpec{N: 1024, Seed: 1}},
+		Mode:     "nodrop",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -285,6 +288,7 @@ func TestConcurrentJobsBounded(t *testing.T) {
 		id, err := s.Submit(JobSpec{
 			Circuit:  "s27",
 			Patterns: PatternSpec{Random: &RandomSpec{N: 192, Seed: uint64(i)}},
+			Mode:     "nodrop",
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -20,6 +20,7 @@
 package tgen
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -122,8 +123,20 @@ func AVE(curve []int) float64 {
 }
 
 // Generate runs the flow over fl in the given fault order. The order
-// must be a permutation of [0, fl.Len()).
+// must be a permutation of [0, fl.Len()). It is GenerateContext
+// without cancellation.
 func Generate(fl *fault.List, order []int, opts Options) *Result {
+	r, _ := GenerateContext(context.Background(), fl, order, opts)
+	return r
+}
+
+// GenerateContext is Generate with cooperative cancellation: ctx is
+// polled before every ATPG target, so a cancelled run stops within one
+// fault's worth of work (one PODEM call plus one incremental fault
+// simulation). On cancellation it returns the partial result — every
+// test generated so far, with a consistent coverage curve — together
+// with ctx.Err(); the error is nil on a completed run.
+func GenerateContext(ctx context.Context, fl *fault.List, order []int, opts Options) (*Result, error) {
 	if err := checkPermutation(order, fl.Len()); err != nil {
 		panic(fmt.Sprintf("tgen: %v", err))
 	}
@@ -137,6 +150,10 @@ func Generate(fl *fault.List, order []int, opts Options) *Result {
 	detected := 0
 
 	for _, fi := range order {
+		if err := ctx.Err(); err != nil {
+			r.Elapsed = time.Since(start)
+			return r, err
+		}
 		if !inc.Alive(fi) {
 			continue
 		}
@@ -163,7 +180,7 @@ func Generate(fl *fault.List, order []int, opts Options) *Result {
 		}
 	}
 	r.Elapsed = time.Since(start)
-	return r
+	return r, nil
 }
 
 func checkPermutation(order []int, n int) error {
