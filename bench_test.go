@@ -11,11 +11,14 @@
 package adifo_test
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
 
+	"github.com/eda-go/adifo"
 	"github.com/eda-go/adifo/internal/experiments"
 	"github.com/eda-go/adifo/internal/gen"
 	"github.com/eda-go/adifo/internal/service"
@@ -205,6 +208,61 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		st.Registry.CircuitHits, st.Registry.CircuitHits+st.Registry.CircuitMisses,
 		st.Registry.GoodHits, st.Registry.GoodHits+st.Registry.GoodMisses)
 	svc.Close()
+}
+
+// BenchmarkClusterGrade measures the fault-sharded cluster path end
+// to end: three in-process adifod backends behind real HTTP servers, a
+// ClusterGrader fanning each job out as one fault shard per backend,
+// and the merged result streamed back. The delta against
+// BenchmarkServiceThroughput is the price of the wire plus the merge —
+// the simulation work per job is identical by construction
+// (bit-identical results), so this benchmark tracks coordination
+// overhead over time.
+func BenchmarkClusterGrade(b *testing.B) {
+	quiet := func(string, ...any) {}
+	urls := make([]string, 3)
+	for i := range urls {
+		g := adifo.NewLocalGrader(adifo.GraderConfig{MaxConcurrentJobs: 4, Logf: quiet})
+		srv := httptest.NewServer(g.Handler())
+		defer srv.Close()
+		defer g.Close()
+		urls[i] = srv.URL
+	}
+	cg, err := adifo.NewClusterGrader(urls, adifo.ClusterOptions{Logf: quiet})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cg.Close()
+
+	ctx := context.Background()
+	specs := []adifo.JobSpec{
+		{Circuit: "c17", Mode: "nodrop", Patterns: adifo.PatternSpec{Random: &adifo.RandomSpec{N: 512, Seed: 1}}},
+		{Circuit: "s27", Mode: "nodrop", Patterns: adifo.PatternSpec{Random: &adifo.RandomSpec{N: 512, Seed: 2}}},
+		{Circuit: "lion", Mode: "nodrop", Patterns: adifo.PatternSpec{Exhaustive: true}},
+		{Circuit: "irs208", Mode: "nodrop", Patterns: adifo.PatternSpec{Random: &adifo.RandomSpec{N: 512, Seed: 3}}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids := make([]string, len(specs))
+		for k, spec := range specs {
+			id, err := cg.Submit(ctx, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[k] = id
+		}
+		for _, id := range ids {
+			st, err := cg.Stream(ctx, id, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.State != adifo.JobDone {
+				b.Fatalf("cluster job %s %s: %s", id, st.State, st.Error)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(specs)), "jobs/op")
 }
 
 // BenchmarkAblation runs the design-choice ablations of DESIGN.md:

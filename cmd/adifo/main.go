@@ -12,10 +12,16 @@
 //	adifo order  -circuit lion -exhaustive -order dynm
 //	adifo grade  -circuit c17 -mode drop -n 256
 //	adifo grade  -server http://localhost:8417 -circuit my.bench
+//	adifo grade  -server http://hostA:8417 -server http://hostB:8417 -circuit irs1238
+//
+// Repeating -server grades on a cluster: the fault universe is
+// sharded across the servers, each grades its shard against the full
+// pattern set, and the merged result is bit-identical to a single-node
+// run.
 //
 // An interrupt (Ctrl-C) during grade cancels the job — on the server
-// when -server is set — and the stream terminates with the cancelled
-// status.
+// (or every cluster backend) when -server is set — and the stream
+// terminates with the cancelled status.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"github.com/eda-go/adifo"
 )
@@ -45,7 +52,8 @@ common flags:
   -n, -seed      random vector count / seed for U
 
 grade flags:
-  -server url    adifod server to grade on (default: in-process)
+  -server url    adifod server to grade on (default: in-process);
+                 repeat to fault-shard the job across a cluster
   -mode m        nodrop, drop or ndetect
   -ndet k        drop threshold for ndetect mode
   -quiet         suppress per-block progress lines
@@ -62,10 +70,24 @@ type options struct {
 	order      string
 	limit      int
 
-	server string
-	mode   string
-	ndet   int
-	quiet  bool
+	servers serverList
+	mode    string
+	ndet    int
+	quiet   bool
+}
+
+// serverList is the repeatable -server flag: one URL grades remotely,
+// several grade on a fault-sharded cluster.
+type serverList []string
+
+func (s *serverList) String() string { return strings.Join(*s, ",") }
+
+func (s *serverList) Set(v string) error {
+	if v == "" {
+		return errors.New("empty server URL")
+	}
+	*s = append(*s, v)
+	return nil
 }
 
 func main() {
@@ -81,7 +103,7 @@ func main() {
 	fs.Uint64Var(&o.seed, "seed", adifo.DefaultUSeed, "random vector seed")
 	fs.StringVar(&o.order, "order", "dynm", "fault order to print")
 	fs.IntVar(&o.limit, "limit", 0, "print at most this many rows (0 = all)")
-	fs.StringVar(&o.server, "server", "", "adifod server URL (empty = grade in-process)")
+	fs.Var(&o.servers, "server", "adifod server URL, repeatable for a cluster (none = grade in-process)")
 	fs.StringVar(&o.mode, "mode", "nodrop", "grading mode: nodrop, drop or ndetect")
 	fs.IntVar(&o.ndet, "ndet", 0, "drop threshold for ndetect mode")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress per-block progress lines")
@@ -178,10 +200,21 @@ func grade(o options, out *os.File) error {
 	ctx := context.Background()
 
 	var g adifo.Grader
-	if o.server != "" {
-		g = adifo.NewRemoteGrader(o.server, nil)
-	} else {
+	var where string
+	switch len(o.servers) {
+	case 0:
 		g = adifo.NewLocalGrader(adifo.GraderConfig{})
+		where = "in-process engine"
+	case 1:
+		g = adifo.NewRemoteGrader(o.servers[0], nil)
+		where = o.servers[0]
+	default:
+		cg, err := adifo.NewClusterGrader(o.servers, adifo.ClusterOptions{})
+		if err != nil {
+			return err
+		}
+		g = cg
+		where = fmt.Sprintf("cluster of %d (%s)", len(o.servers), o.servers.String())
 	}
 	defer g.Close()
 
@@ -192,10 +225,6 @@ func grade(o options, out *os.File) error {
 	id, err := g.Submit(ctx, spec)
 	if err != nil {
 		return err
-	}
-	where := o.server
-	if where == "" {
-		where = "in-process engine"
 	}
 	fmt.Fprintf(out, "job %s submitted to %s\n", id, where)
 
@@ -238,6 +267,14 @@ func grade(o options, out *os.File) error {
 		return err
 	}
 
+	if cg, ok := g.(*adifo.ClusterGrader); ok {
+		if shards, err := cg.Shards(id); err == nil {
+			for _, sh := range shards {
+				fmt.Fprintf(out, "shard %d/%d on %s as %s (retries %d)\n",
+					sh.Index, sh.Count, sh.Backend, sh.RemoteID, sh.Retries)
+			}
+		}
+	}
 	fmt.Fprintf(out, "circuit     %s (fingerprint %s)\n", res.Circuit, res.Fingerprint)
 	fmt.Fprintf(out, "mode        %s\n", res.Mode)
 	fmt.Fprintf(out, "vectors     %d (%d simulated)\n", res.Vectors, res.VectorsUsed)

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/eda-go/adifo"
 )
 
 func TestCommands(t *testing.T) {
@@ -27,6 +30,41 @@ func TestGradeInProcess(t *testing.T) {
 	o := options{circuit: "c17", mode: "nodrop", n: 128, seed: 1, limit: 3, quiet: true}
 	if err := run("grade", o); err != nil {
 		t.Fatalf("grade c17: %v", err)
+	}
+}
+
+// TestGradeRemote drives the grade verb against one real HTTP server
+// (the single -server path).
+func TestGradeRemote(t *testing.T) {
+	g := adifo.NewLocalGrader(adifo.GraderConfig{})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	o := options{circuit: "c17", mode: "nodrop", n: 128, seed: 1, limit: 2, quiet: true,
+		servers: serverList{srv.URL}}
+	if err := run("grade", o); err != nil {
+		t.Fatalf("grade -server: %v", err)
+	}
+}
+
+// TestGradeCluster drives the grade verb end to end across two real
+// HTTP backends — the `adifo grade -server A -server B` path — and
+// checks the sharded run against an in-process single-engine run.
+func TestGradeCluster(t *testing.T) {
+	mk := func() *httptest.Server {
+		g := adifo.NewLocalGrader(adifo.GraderConfig{})
+		srv := httptest.NewServer(g.Handler())
+		t.Cleanup(func() {
+			srv.Close()
+			g.Close()
+		})
+		return srv
+	}
+	a, b := mk(), mk()
+	o := options{circuit: "c17", mode: "drop", n: 256, seed: 3, limit: 2, quiet: true,
+		servers: serverList{a.URL, b.URL}}
+	if err := run("grade", o); err != nil {
+		t.Fatalf("grade -server A -server B: %v", err)
 	}
 }
 

@@ -10,19 +10,33 @@
 //
 // The server is the public adifo.LocalGrader behind its Handler; a Go
 // program embedding the engine gets the identical API from
-// adifo.NewLocalGrader directly.
+// adifo.NewLocalGrader directly. Several adifod processes form a
+// scale-out cluster behind adifo.NewClusterGrader (or `adifo grade`
+// with repeated -server flags), which fault-shards every job across
+// them.
+//
+// On SIGINT or SIGTERM the server shuts down gracefully: new
+// submissions are rejected with the "unavailable" error envelope
+// (HTTP 503), running jobs are cancelled at their next 64-pattern
+// block barrier, progress streams end with the terminal cancelled
+// status, and the HTTP server drains within the -grace deadline.
 //
 // Usage:
 //
-//	adifod -addr :8417 -jobs 4 -workers 8
+//	adifod -addr :8417 -jobs 4 -workers 8 -grace 10s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/eda-go/adifo"
 )
@@ -34,6 +48,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "shard workers per job (0 = GOMAXPROCS)")
 		circuitCache = flag.Int("circuit-cache", 0, "circuit registry LRU capacity (0 = default)")
 		goodCache    = flag.Int("good-cache", 0, "good-machine cache LRU capacity (0 = default)")
+		grace        = flag.Duration("grace", 10*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -47,8 +62,55 @@ func main() {
 		CircuitCache:      *circuitCache,
 		GoodCache:         *goodCache,
 	})
-	log.Printf("adifod listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, g.Handler()); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatalf("adifod: %v", err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("adifod listening on %s", ln.Addr())
+	if err := serve(ctx, ln, g, *grace); err != nil {
+		log.Fatalf("adifod: %v", err)
+	}
+	log.Printf("adifod: drained, bye")
+}
+
+// serve runs the grading API on ln until ctx is cancelled (the signal
+// arrived), then shuts down gracefully: the engine drains first —
+// Submit starts rejecting with the typed 503 envelope, queued jobs
+// cancel immediately, running jobs cancel at their next block barrier,
+// streams close with the terminal status — and the HTTP server then
+// has until the grace deadline to finish in-flight responses.
+func serve(ctx context.Context, ln net.Listener, g *adifo.LocalGrader, grace time.Duration) error {
+	srv := &http.Server{Handler: g.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("adifod: signal received, draining (deadline %s)", grace)
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		// Drain rejects new submissions and waits for every job
+		// goroutine; job cancellation closes the progress streams, which
+		// lets Shutdown below complete instead of hanging on them.
+		g.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-sctx.Done():
+		// Jobs did not reach a barrier in time; fall through and let
+		// Shutdown's deadline force the issue.
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("graceful shutdown incomplete: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/eda-go/adifo"
+)
+
+// slowChainBench is a deep XOR chain whose grading spans enough
+// 64-pattern blocks to interrupt mid-run.
+func slowChainBench() string {
+	var b strings.Builder
+	const inputs, chain = 16, 400
+	for i := 0; i < inputs; i++ {
+		fmt.Fprintf(&b, "INPUT(i%d)\n", i)
+	}
+	fmt.Fprintf(&b, "OUTPUT(g%d)\n", chain-1)
+	fmt.Fprintf(&b, "g0 = XOR(i0, i1)\n")
+	for i := 1; i < chain; i++ {
+		fmt.Fprintf(&b, "g%d = XOR(g%d, i%d)\n", i, i-1, i%inputs)
+	}
+	return b.String()
+}
+
+// TestServeGracefulShutdown drives serve through the full signal path:
+// a running job is cancelled at its next block barrier, its stream
+// ends with the terminal cancelled status, new submissions are
+// rejected with the typed unavailable envelope, and serve returns
+// within the grace deadline.
+func TestServeGracefulShutdown(t *testing.T) {
+	g := adifo.NewLocalGrader(adifo.GraderConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, signalArrives := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serve(ctx, ln, g, 30*time.Second) }()
+
+	rg := adifo.NewRemoteGrader("http://"+ln.Addr().String(), nil)
+	id, err := rg.Submit(context.Background(), adifo.JobSpec{
+		Bench: slowChainBench(), Name: "slow-chain", Mode: "nodrop",
+		Patterns: adifo.PatternSpec{Random: &adifo.RandomSpec{N: 1 << 16, Seed: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep a stream open across the shutdown: it must end with the
+	// terminal cancelled status, not an aborted connection.
+	firstEvent := make(chan struct{})
+	var once bool
+	streamDone := make(chan adifo.JobStatus, 1)
+	streamErr := make(chan error, 1)
+	go func() {
+		st, err := rg.Stream(context.Background(), id, func(adifo.ProgressEvent) {
+			if !once {
+				once = true
+				close(firstEvent)
+			}
+		})
+		streamErr <- err
+		streamDone <- st
+	}()
+	select {
+	case <-firstEvent:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never started streaming")
+	}
+
+	signalArrives()
+
+	// Submissions are rejected with the typed envelope as soon as the
+	// drain begins.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := rg.Submit(context.Background(), adifo.JobSpec{
+			Circuit: "c17", Mode: "nodrop",
+			Patterns: adifo.PatternSpec{Exhaustive: true},
+		})
+		if err != nil {
+			var ae *adifo.APIError
+			if !errors.As(err, &ae) || ae.Code != "unavailable" {
+				t.Fatalf("submit during drain: %v, want APIError unavailable", err)
+			}
+			if !errors.Is(err, adifo.ErrGraderDraining) {
+				t.Fatalf("submit during drain: %v must match ErrGraderDraining", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submissions still accepted after the signal")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := <-streamErr; err != nil {
+		t.Fatalf("stream across shutdown: %v", err)
+	}
+	if st := <-streamDone; st.State != adifo.JobCancelled {
+		t.Fatalf("stream ended with state %q, want %q", st.State, adifo.JobCancelled)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+}
+
+// TestServeStopsOnListenerError: serve returns the server error when
+// the listener dies without a signal.
+func TestServeStopsOnListenerError(t *testing.T) {
+	g := adifo.NewLocalGrader(adifo.GraderConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serve(context.Background(), ln, g, time.Second) }()
+	time.Sleep(50 * time.Millisecond)
+	ln.Close()
+	select {
+	case err := <-serveDone:
+		if err == nil {
+			t.Fatal("serve returned nil after listener death")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not notice the dead listener")
+	}
+}

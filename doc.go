@@ -35,12 +35,15 @@
 // # The grading service
 //
 // Grader abstracts the concurrent fault-grading engine behind one
-// interface with two implementations: NewLocalGrader runs jobs
-// in-process (and can serve them over HTTP via its Handler), while
-// NewRemoteGrader talks to a running adifod server. Both speak the
-// same job API — Submit, Status, Result, Cancel, Stream — over the
-// same wire types, so a program can switch between embedded and
-// remote grading by swapping a constructor.
+// interface with three implementations: NewLocalGrader runs jobs
+// in-process (and can serve them over HTTP via its Handler),
+// NewRemoteGrader talks to a running adifod server, and
+// NewClusterGrader fans each job out across several adifod servers as
+// deterministic fault shards whose merged result is bit-identical to
+// a single-node run. All speak the same job API — Submit, Status,
+// Result, Cancel, Stream — over the same wire types, so a program can
+// switch between embedded, remote and cluster grading by swapping a
+// constructor.
 //
 // The implementation lives under internal/ and is not importable;
 // everything an external consumer needs is exported here. See

@@ -7,6 +7,7 @@ package adifo_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http/httptest"
@@ -260,6 +261,123 @@ func TestRemoteGrader(t *testing.T) {
 	g := adifo.NewRemoteGrader(srv.URL, srv.Client())
 	defer g.Close()
 	gradeAndCancel(t, g)
+}
+
+// clusterOf spins up n adifod-equivalent backends and a ClusterGrader
+// over them, all through the public API.
+func clusterOf(t *testing.T, n int) *adifo.ClusterGrader {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		local := adifo.NewLocalGrader(adifo.GraderConfig{})
+		srv := httptest.NewServer(local.Handler())
+		t.Cleanup(func() {
+			srv.Close()
+			local.Close()
+		})
+		urls[i] = srv.URL
+	}
+	g, err := adifo.NewClusterGrader(urls, adifo.ClusterOptions{Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+// TestClusterGraderParity: a ClusterGrader over three backends returns
+// the identical result a LocalGrader computes in one process, through
+// the Grader interface consumers already use.
+func TestClusterGraderParity(t *testing.T) {
+	ctx := context.Background()
+	spec := adifo.JobSpec{
+		Circuit:  "c17",
+		Mode:     "ndetect",
+		N:        4,
+		Patterns: adifo.PatternSpec{Random: &adifo.RandomSpec{N: 448, Seed: 11}},
+	}
+
+	local := adifo.NewLocalGrader(adifo.GraderConfig{})
+	defer local.Close()
+	wantID, err := local.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := local.Stream(ctx, wantID, nil); err != nil || st.State != adifo.JobDone {
+		t.Fatalf("local stream: %+v, %v", st, err)
+	}
+	want, err := local.Result(ctx, wantID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := clusterOf(t, 3)
+	id, err := g.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small job can finish before the stream subscribes, so events
+	// are not asserted here; the merged-stream shape is covered by the
+	// cluster package tests.
+	st, err := g.Stream(ctx, id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != adifo.JobDone {
+		t.Fatalf("cluster job %s: %s", st.State, st.Error)
+	}
+	got, err := g.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	norm := func(r *adifo.JobResult) string {
+		cp := *r
+		cp.ID = "X"
+		b, err := json.Marshal(&cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if norm(got) != norm(want) {
+		t.Fatalf("cluster result diverges from local run\n got: %s\nwant: %s", norm(got), norm(want))
+	}
+
+	shards, err := g.Shards(id)
+	if err != nil || len(shards) != 3 {
+		t.Fatalf("shards: %v, %v", shards, err)
+	}
+
+	// Cancel flow across the cluster: a slow job cancelled mid-run ends
+	// its merged stream with the cancelled status.
+	slow, err := g.Submit(ctx, adifo.JobSpec{
+		Bench:    slowChainBench(),
+		Name:     "slow-chain",
+		Patterns: adifo.PatternSpec{Random: &adifo.RandomSpec{N: 1 << 16, Seed: 1}},
+		Mode:     "nodrop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := false
+	st, err = g.Stream(ctx, slow, func(ev adifo.ProgressEvent) {
+		if !cancelled {
+			cancelled = true
+			if _, err := g.Cancel(ctx, slow); err != nil {
+				t.Errorf("cancel: %v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != adifo.JobCancelled {
+		t.Fatalf("cancelled cluster stream ended with %q", st.State)
+	}
+	if _, err := g.Result(ctx, slow); !errors.Is(err, adifo.ErrJobCancelled) {
+		t.Fatalf("result of cancelled cluster job: %v, want ErrJobCancelled", err)
+	}
 }
 
 // TestRemoteGraderTypedError checks the remote error path surfaces the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 
+	"github.com/eda-go/adifo/internal/cluster"
 	"github.com/eda-go/adifo/internal/service"
 	"github.com/eda-go/adifo/internal/service/client"
 )
@@ -40,6 +41,18 @@ type (
 	// ({"error": {"code": ..., "message": ...}}); RemoteGrader calls
 	// surface it via errors.As.
 	APIError = service.APIError
+	// FaultShard is the wire's optional shard selector: a job carrying
+	// it grades only shard Index of Count of the collapsed fault
+	// universe, against the full pattern set. ClusterGrader assigns
+	// these automatically; set it by hand only to drive your own
+	// fan-out.
+	FaultShard = service.FaultShard
+	// ClusterOptions configures a ClusterGrader; zero values select
+	// sensible defaults.
+	ClusterOptions = cluster.Options
+	// ClusterShardStatus is the per-shard placement state of a cluster
+	// job (backend URL, remote sub-job id, retries).
+	ClusterShardStatus = cluster.ShardStatus
 )
 
 // Job states. Queued and running jobs may still change state; done,
@@ -59,6 +72,10 @@ var (
 	ErrJobNotDone   = service.ErrNotDone
 	ErrJobCancelled = service.ErrCancelled
 	ErrJobFinished  = service.ErrFinished
+	// ErrGraderDraining is returned by Submit while the engine is
+	// shutting down gracefully (LocalGrader.Drain, or an adifod server
+	// that received SIGINT/SIGTERM).
+	ErrGraderDraining = service.ErrDraining
 )
 
 // Grader is the fault-grading engine behind one interface: submit a
@@ -94,6 +111,7 @@ type Grader interface {
 var (
 	_ Grader = (*LocalGrader)(nil)
 	_ Grader = (*RemoteGrader)(nil)
+	_ Grader = (*ClusterGrader)(nil)
 )
 
 // LocalGrader runs grading jobs in-process: a registry caches parsed
@@ -174,6 +192,15 @@ func (g *LocalGrader) Close() error {
 	return nil
 }
 
+// Drain shuts the engine down gracefully: from the moment it is
+// called Submit rejects new jobs with an ErrGraderDraining error,
+// queued jobs are cancelled immediately, running jobs are cancelled at
+// their next 64-pattern block barrier (streams end with the cancelled
+// status), and Drain returns once every job goroutine has finished.
+// adifod calls this on SIGINT/SIGTERM before shutting its HTTP server
+// down.
+func (g *LocalGrader) Drain() { g.svc.Drain() }
+
 // RemoteGrader grades on a running adifod server over the v1 HTTP+JSON
 // API. Non-2xx responses surface as *APIError.
 type RemoteGrader struct {
@@ -219,3 +246,73 @@ func (g *RemoteGrader) Stats(ctx context.Context) (GraderStats, error) {
 
 // Close implements Grader (a remote grader holds no resources).
 func (g *RemoteGrader) Close() error { return nil }
+
+// ClusterGrader fans every grading job out across multiple adifod
+// backends: the collapsed fault universe is partitioned into one
+// deterministic index-range shard per healthy backend, each backend
+// grades its shard against the full pattern set, and the streamed
+// progress and final results are merged into a single JobResult that
+// is bit-identical to an unsharded single-node run. A backend that
+// dies mid-job has its shard retried on a surviving backend; health is
+// probed via /v1/stats and flapping backends are excluded. Cancel fans
+// out to every sub-job.
+type ClusterGrader struct {
+	co *cluster.Coordinator
+}
+
+// NewClusterGrader returns a grader that shards every job across the
+// adifod servers at the given base URLs (e.g. "http://host:8417"). At
+// least one URL is required; with exactly one, the cluster degrades to
+// a remote grader with retry.
+func NewClusterGrader(urls []string, opts ClusterOptions) (*ClusterGrader, error) {
+	co, err := cluster.New(urls, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterGrader{co: co}, nil
+}
+
+// Submit implements Grader: it places one fault-shard sub-job per
+// healthy backend synchronously (so validation errors surface here)
+// and returns the cluster job id.
+func (g *ClusterGrader) Submit(ctx context.Context, spec JobSpec) (string, error) {
+	return g.co.Submit(ctx, spec)
+}
+
+// Status implements Grader with the merged view of all shards.
+func (g *ClusterGrader) Status(ctx context.Context, id string) (JobStatus, error) {
+	return g.co.Status(ctx, id)
+}
+
+// Result implements Grader: the merged result of every shard,
+// bit-identical to an unsharded run.
+func (g *ClusterGrader) Result(ctx context.Context, id string) (*JobResult, error) {
+	return g.co.Result(ctx, id)
+}
+
+// Cancel implements Grader by fanning the cancel out to every sub-job.
+func (g *ClusterGrader) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	return g.co.Cancel(ctx, id)
+}
+
+// Stream implements Grader: merged per-block events, one per block
+// once every shard has passed it.
+func (g *ClusterGrader) Stream(ctx context.Context, id string, fn func(ProgressEvent)) (JobStatus, error) {
+	return g.co.Stream(ctx, id, fn)
+}
+
+// Stats implements Grader by summing the counters of every reachable
+// backend.
+func (g *ClusterGrader) Stats(ctx context.Context) (GraderStats, error) {
+	return g.co.Stats(ctx)
+}
+
+// Shards exposes the per-shard placement of a cluster job (which
+// backend holds which fault range, how often it was retried).
+func (g *ClusterGrader) Shards(id string) ([]ClusterShardStatus, error) {
+	return g.co.Shards(id)
+}
+
+// Close implements Grader: it waits for the orchestration of every
+// submitted cluster job to finish.
+func (g *ClusterGrader) Close() error { return g.co.Close() }

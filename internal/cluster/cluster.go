@@ -1,0 +1,864 @@
+// Package cluster fans one fault-grading job out across multiple
+// adifod backends. The coordinator partitions the collapsed fault
+// universe into deterministic index-range shards (service.ShardRange),
+// submits one sub-job per healthy backend with the wire's fault_shard
+// selector set, merges the streamed per-block progress and the final
+// per-shard results into a single JobResult, and retries the shard of
+// a dead backend on a surviving one.
+//
+// The merge is bit-identical to an unsharded single-node run because
+// dropping decisions are per-fault: a fault drops when its own
+// detection count crosses the mode threshold, so disjoint fault shards
+// have no cross-fault control dependence. Each backend grades its
+// shard against the full (replicated) pattern set; per-fault counters
+// concatenate, per-vector ndet counters sum, and the merged
+// vectors-used is the maximum over shards — exactly the block at which
+// a single run's global active list would have emptied. Patterns are
+// replicated rather than split because dropping *does* depend on
+// earlier vectors: pattern shards would have cross-shard control
+// dependence, fault shards do not.
+//
+// Backend health is probed via /v1/stats; a backend that keeps failing
+// (flapping) is excluded from retry placement once its consecutive
+// failure count reaches Options.MaxBackendFailures.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/eda-go/adifo/internal/service"
+	"github.com/eda-go/adifo/internal/service/client"
+)
+
+// Options configures a Coordinator; zero values select sensible
+// defaults.
+type Options struct {
+	// HTTPClient is used for every backend call (nil =
+	// http.DefaultClient).
+	HTTPClient *http.Client
+	// ProbeTimeout bounds one /v1/stats health probe (default 2s).
+	ProbeTimeout time.Duration
+	// MaxShardRetries is how many times one shard may be resubmitted
+	// after backend failures before the cluster job fails (default 3).
+	MaxShardRetries int
+	// MaxBackendFailures is the consecutive-failure count at which a
+	// backend is considered flapping and excluded from placement until
+	// a sub-job completes on it again (default 3).
+	MaxBackendFailures int
+	// MaxRetainedJobs bounds how many finished cluster jobs (and their
+	// merged results) are kept for status/result queries, mirroring the
+	// service's own retention bound; the oldest finished jobs are
+	// evicted first, running jobs never (default 1024).
+	MaxRetainedJobs int
+	// Logf receives placement and retry diagnostics (default
+	// log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.MaxShardRetries <= 0 {
+		o.MaxShardRetries = 3
+	}
+	if o.MaxBackendFailures <= 0 {
+		o.MaxBackendFailures = 3
+	}
+	if o.MaxRetainedJobs <= 0 {
+		o.MaxRetainedJobs = 1024
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// backend is one adifod server plus its health bookkeeping. failures
+// counts consecutive transport-level failures; any completed sub-job
+// resets it.
+type backend struct {
+	url string
+	cl  *client.Client
+
+	mu       sync.Mutex
+	failures int
+}
+
+func (b *backend) markFailure() {
+	b.mu.Lock()
+	b.failures++
+	b.mu.Unlock()
+}
+
+func (b *backend) markOK() {
+	b.mu.Lock()
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// flapping reports whether the backend has hit the consecutive-failure
+// threshold.
+func (b *backend) flapping(max int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures >= max
+}
+
+// Coordinator fans grading jobs out across a fixed set of adifod
+// backends. It implements the same submit/status/result/cancel/stream
+// surface as the service, which is what lets the adifo facade expose
+// it behind the Grader interface.
+type Coordinator struct {
+	opts     Options
+	backends []*backend
+
+	mu    sync.Mutex
+	jobs  map[string]*cjob
+	order []string
+	seq   uint64
+	wg    sync.WaitGroup
+}
+
+// New returns a coordinator over the given backend base URLs (e.g.
+// "http://host:8417"). At least one URL is required.
+func New(urls []string, opts Options) (*Coordinator, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("cluster: at least one backend URL is required")
+	}
+	opts = opts.withDefaults()
+	co := &Coordinator{opts: opts, jobs: make(map[string]*cjob)}
+	seen := make(map[string]bool)
+	for _, u := range urls {
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: duplicate backend URL %s", u)
+		}
+		seen[u] = true
+		co.backends = append(co.backends, &backend{url: u, cl: client.New(u, opts.HTTPClient)})
+	}
+	return co, nil
+}
+
+// shard is one fault-range sub-job of a cluster job. backend and
+// remoteID change when the shard is retried elsewhere.
+type shard struct {
+	index, count int
+
+	mu       sync.Mutex
+	backend  *backend
+	remoteID string
+	state    string // running/done/failed/cancelled from the cluster's view
+	retries  int
+	result   *service.JobResult
+	err      error
+}
+
+func (sh *shard) placement() (*backend, string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.backend, sh.remoteID
+}
+
+func (sh *shard) finish(state string, res *service.JobResult, err error) {
+	sh.mu.Lock()
+	sh.state = state
+	sh.result = res
+	sh.err = err
+	sh.mu.Unlock()
+}
+
+// ShardStatus is the observable placement state of one shard, exposed
+// for diagnostics and tests.
+type ShardStatus struct {
+	Index    int    `json:"index"`
+	Count    int    `json:"count"`
+	Backend  string `json:"backend"`
+	RemoteID string `json:"remote_id"`
+	State    string `json:"state"`
+	Retries  int    `json:"retries"`
+	Error    string `json:"error,omitempty"`
+}
+
+// cjob is one cluster-level grading job.
+type cjob struct {
+	id     string
+	spec   service.JobSpec
+	shards []*shard
+	merge  *merger
+
+	// pubMu serializes merge-and-publish pairs so merged events reach
+	// subscribers in block order even when shard streams race.
+	pubMu sync.Mutex
+
+	mu        sync.Mutex
+	status    service.JobStatus
+	result    *service.JobResult
+	cancelled bool
+	subs      []chan service.ProgressEvent
+}
+
+func (j *cjob) isCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelled
+}
+
+func (co *Coordinator) logf(format string, args ...any) { co.opts.Logf(format, args...) }
+
+// probe checks one backend's liveness with the configured timeout.
+func (co *Coordinator) probe(ctx context.Context, b *backend) error {
+	pctx, cancel := context.WithTimeout(ctx, co.opts.ProbeTimeout)
+	defer cancel()
+	_, err := b.cl.Stats(pctx)
+	return err
+}
+
+// healthyBackends probes every backend concurrently (one ProbeTimeout
+// bounds the whole sweep, not each dead backend in turn) and returns
+// the live, non-flapping ones in configuration order.
+func (co *Coordinator) healthyBackends(ctx context.Context) []*backend {
+	ok := make([]bool, len(co.backends))
+	var wg sync.WaitGroup
+	for i, b := range co.backends {
+		if b.flapping(co.opts.MaxBackendFailures) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			if err := co.probe(ctx, b); err != nil {
+				b.markFailure()
+				co.logf("cluster: backend %s unhealthy: %v", b.url, err)
+				return
+			}
+			ok[i] = true
+		}(i, b)
+	}
+	wg.Wait()
+	var out []*backend
+	for i, b := range co.backends {
+		if ok[i] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Submit partitions the fault universe across the currently healthy
+// backends and submits one fault-shard sub-job per backend,
+// synchronously, so spec validation errors surface here exactly as
+// they do on a direct service submit. The returned id names the
+// cluster job; the sub-jobs stream and merge asynchronously.
+func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string, error) {
+	if spec.FaultShard != nil {
+		return "", errors.New("cluster: spec must not carry fault_shard; the coordinator assigns shards")
+	}
+	if spec.StopAtCoverage > 0 {
+		return "", errors.New("cluster: stop_at_coverage is not supported on sharded jobs (the cut-off depends on global coverage)")
+	}
+	healthy := co.healthyBackends(ctx)
+	if len(healthy) == 0 {
+		return "", errors.New("cluster: no healthy backends")
+	}
+	count := len(healthy)
+
+	co.mu.Lock()
+	co.seq++
+	id := fmt.Sprintf("c%d", co.seq)
+	co.mu.Unlock()
+
+	j := &cjob{
+		id:     id,
+		spec:   spec,
+		merge:  newMerger(id, count),
+		status: service.JobStatus{ID: id, State: service.StateRunning},
+	}
+	for i := 0; i < count; i++ {
+		j.shards = append(j.shards, &shard{index: i, count: count, state: service.StateRunning})
+	}
+
+	// Synchronous placement: every shard gets a sub-job before Submit
+	// returns. A validation error aborts the whole job (and cancels any
+	// sub-jobs already placed); a transport error re-places the shard
+	// on another healthy backend.
+	for i, sh := range j.shards {
+		sub := spec
+		sub.FaultShard = &service.FaultShard{Index: i, Count: count}
+		placed := false
+		var lastErr error
+		for attempt := 0; attempt < len(healthy); attempt++ {
+			b := healthy[(i+attempt)%len(healthy)]
+			if b.flapping(co.opts.MaxBackendFailures) {
+				continue
+			}
+			rid, err := b.cl.Submit(ctx, sub)
+			if err == nil {
+				sh.mu.Lock()
+				sh.backend, sh.remoteID = b, rid
+				sh.mu.Unlock()
+				placed = true
+				break
+			}
+			lastErr = err
+			var ae *service.APIError
+			if errors.As(err, &ae) {
+				// This backend refused the spec. Validation can be
+				// server-local (the workers bound depends on each
+				// server's core count) or transient (draining), so a
+				// refusal here does not condemn the spec everywhere:
+				// try the next backend, and only fail the submit when
+				// no backend accepts the shard.
+				co.logf("cluster: backend %s refused shard %d/%d: %v", b.url, i, count, err)
+				continue
+			}
+			b.markFailure()
+			co.logf("cluster: submitting shard %d/%d to %s: %v", i, count, b.url, err)
+		}
+		if !placed {
+			co.cancelSubJobs(j, nil)
+			return "", fmt.Errorf("cluster: could not place shard %d/%d: %w", i, count, lastErr)
+		}
+	}
+
+	co.mu.Lock()
+	co.jobs[id] = j
+	co.order = append(co.order, id)
+	co.evictOldJobsLocked()
+	co.mu.Unlock()
+
+	var shardWg sync.WaitGroup
+	for _, sh := range j.shards {
+		shardWg.Add(1)
+		co.wg.Add(1)
+		go func(sh *shard) {
+			defer shardWg.Done()
+			defer co.wg.Done()
+			co.runShard(j, sh)
+		}(sh)
+	}
+	co.wg.Add(1)
+	go func() {
+		defer co.wg.Done()
+		shardWg.Wait()
+		co.finalize(j)
+	}()
+	return id, nil
+}
+
+// runShard drives one shard to a terminal state: stream the sub-job,
+// fetch its result, and on any transport failure retry the whole shard
+// on another healthy backend (shard jobs are deterministic, so a rerun
+// reproduces the exact same result).
+func (co *Coordinator) runShard(j *cjob, sh *shard) {
+	ctx := context.Background()
+	for {
+		b, rid := sh.placement()
+		if j.isCancelled() {
+			// A Cancel that raced a retry placement may have missed this
+			// sub-job (cancelSubJobs snapshots placements); cancel it
+			// here so the backend stops and the stream below terminates.
+			cctx, cancel := context.WithTimeout(ctx, co.opts.ProbeTimeout)
+			b.cl.Cancel(cctx, rid)
+			cancel()
+		}
+		st, err := b.cl.Stream(ctx, rid, func(ev service.ProgressEvent) {
+			j.pubMu.Lock()
+			co.publish(j, j.merge.update(sh.index, ev))
+			j.pubMu.Unlock()
+		})
+		if err == nil {
+			switch st.State {
+			case service.StateDone:
+				res, rerr := b.cl.Result(ctx, rid)
+				if rerr == nil {
+					b.markOK()
+					j.pubMu.Lock()
+					j.merge.markDone(sh.index, st)
+					co.publish(j, j.merge.collect())
+					j.pubMu.Unlock()
+					sh.finish(service.StateDone, res, nil)
+					return
+				}
+				// Transport failure or a refusal (e.g. the finished job
+				// was evicted before the fetch): the shared triage below
+				// retries what a rerun can recover and fails the rest.
+				err = rerr
+			case service.StateCancelled:
+				if j.isCancelled() {
+					sh.finish(service.StateCancelled, nil, nil)
+					return
+				}
+				// The backend cancelled the sub-job on its own — a
+				// graceful drain (SIGTERM) rather than our fan-out. To
+				// the cluster that is a lost shard like any other death:
+				// retry it on a surviving backend.
+				err = fmt.Errorf("backend %s cancelled sub-job %s (draining?)", b.url, rid)
+			case service.StateFailed:
+				co.failShard(j, sh, fmt.Errorf("backend %s: %s", b.url, st.Error))
+				return
+			default:
+				err = fmt.Errorf("stream of %s on %s ended in non-terminal state %q", rid, b.url, st.State)
+			}
+		}
+		var apiErr *service.APIError
+		if errors.As(err, &apiErr) {
+			// The backend answered but refused (job evicted, unknown id):
+			// not a transport failure, retrying elsewhere cannot help a
+			// spec-level refusal, but a lost job is retried like a death.
+			if !errors.Is(err, service.ErrNotFound) {
+				co.failShard(j, sh, err)
+				return
+			}
+		}
+		b.markFailure()
+		if j.isCancelled() {
+			sh.finish(service.StateCancelled, nil, nil)
+			return
+		}
+		sh.mu.Lock()
+		sh.retries++
+		retries := sh.retries
+		sh.mu.Unlock()
+		if retries > co.opts.MaxShardRetries {
+			co.failShard(j, sh, fmt.Errorf("shard %d/%d: %d retries exhausted, last error: %v",
+				sh.index, sh.count, co.opts.MaxShardRetries, err))
+			return
+		}
+		co.logf("cluster: shard %d/%d lost on %s (%v), retrying elsewhere", sh.index, sh.count, b.url, err)
+		if perr := co.replaceShard(ctx, j, sh, b); perr != nil {
+			if j.isCancelled() {
+				sh.finish(service.StateCancelled, nil, nil)
+				return
+			}
+			co.failShard(j, sh, fmt.Errorf("shard %d/%d: %v (after %v)", sh.index, sh.count, perr, err))
+			return
+		}
+	}
+}
+
+// replaceShard resubmits sh on a healthy backend, preferring backends
+// other than the one that just failed, and resets the shard's progress
+// in the merger (the rerun starts from block 0 and reproduces
+// identical per-block stats).
+func (co *Coordinator) replaceShard(ctx context.Context, j *cjob, sh *shard, failed *backend) error {
+	sub := j.spec
+	sub.FaultShard = &service.FaultShard{Index: sh.index, Count: sh.count}
+	var lastErr error
+	for off := 1; off <= len(co.backends); off++ {
+		b := co.backends[(backendIndex(co.backends, failed)+off)%len(co.backends)]
+		if b.flapping(co.opts.MaxBackendFailures) {
+			continue
+		}
+		if err := co.probe(ctx, b); err != nil {
+			b.markFailure()
+			lastErr = err
+			continue
+		}
+		if j.isCancelled() {
+			return errors.New("job cancelled during retry placement")
+		}
+		rid, err := b.cl.Submit(ctx, sub)
+		if err != nil {
+			// A wire-level refusal is not a backend failure; only
+			// transport errors count toward flapping.
+			var ae *service.APIError
+			if !errors.As(err, &ae) {
+				b.markFailure()
+			}
+			lastErr = err
+			continue
+		}
+		j.merge.reset(sh.index)
+		sh.mu.Lock()
+		sh.backend, sh.remoteID = b, rid
+		sh.mu.Unlock()
+		co.logf("cluster: shard %d/%d replaced onto %s as %s", sh.index, sh.count, b.url, rid)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("all backends flapping")
+	}
+	return fmt.Errorf("no surviving backend accepted the shard: %v", lastErr)
+}
+
+func backendIndex(backends []*backend, b *backend) int {
+	for i, x := range backends {
+		if x == b {
+			return i
+		}
+	}
+	return 0
+}
+
+// failShard records a shard failure and proactively cancels the
+// sibling sub-jobs so backends stop grading a job that can no longer
+// complete.
+func (co *Coordinator) failShard(j *cjob, sh *shard, err error) {
+	sh.finish(service.StateFailed, nil, err)
+	co.cancelSubJobs(j, sh)
+}
+
+// cancelSubJobs fans a cancel out to every placed sub-job except skip.
+// Best-effort: already-finished sub-jobs answer ErrFinished, dead
+// backends time out — neither changes the outcome.
+func (co *Coordinator) cancelSubJobs(j *cjob, skip *shard) {
+	for _, sh := range j.shards {
+		if sh == skip {
+			continue
+		}
+		b, rid := sh.placement()
+		if b == nil || rid == "" {
+			continue
+		}
+		go func(b *backend, rid string) {
+			ctx, cancel := context.WithTimeout(context.Background(), co.opts.ProbeTimeout)
+			defer cancel()
+			b.cl.Cancel(ctx, rid)
+		}(b, rid)
+	}
+}
+
+// finalize runs once every shard goroutine has returned: it merges the
+// shard results (all-done), or settles on the failed/cancelled state,
+// updates the cluster status and closes every subscriber channel.
+func (co *Coordinator) finalize(j *cjob) {
+	state := service.StateDone
+	var firstErr error
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		shState, shErr := sh.state, sh.err
+		sh.mu.Unlock()
+		switch shState {
+		case service.StateFailed:
+			state = service.StateFailed
+			if firstErr == nil {
+				firstErr = shErr
+			}
+		case service.StateCancelled:
+			if state != service.StateFailed {
+				state = service.StateCancelled
+			}
+		}
+	}
+	if j.isCancelled() && state != service.StateFailed {
+		state = service.StateCancelled
+	}
+
+	var merged *service.JobResult
+	if state == service.StateDone {
+		results := make([]*service.JobResult, len(j.shards))
+		for i, sh := range j.shards {
+			sh.mu.Lock()
+			results[i] = sh.result
+			sh.mu.Unlock()
+		}
+		var err error
+		merged, err = MergeResults(j.id, results)
+		if err != nil {
+			state = service.StateFailed
+			firstErr = err
+		}
+	}
+	// The merged result is the job's only retained payload; the
+	// per-shard copies would double its memory for no reader.
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		sh.result = nil
+		sh.mu.Unlock()
+	}
+
+	j.mu.Lock()
+	j.status.State = state
+	if merged != nil {
+		j.result = merged
+		j.status.Circuit = merged.Circuit
+		j.status.Faults = merged.Faults
+		j.status.Vectors = merged.Vectors
+		j.status.VectorsUsed = merged.VectorsUsed
+		j.status.Detected = merged.Detected
+	}
+	if firstErr != nil {
+		j.status.Error = firstErr.Error()
+	}
+	subs := j.subs
+	j.subs = nil
+	j.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+}
+
+// publish forwards merged progress events to the cluster job's status
+// and subscribers. Sends never block: progress is advisory, exactly as
+// in the service.
+func (co *Coordinator) publish(j *cjob, evs []service.ProgressEvent) {
+	for _, ev := range evs {
+		j.mu.Lock()
+		if terminalState(j.status.State) {
+			j.mu.Unlock()
+			return
+		}
+		j.status.BlocksDone = ev.Block + 1
+		j.status.Blocks = ev.Blocks
+		j.status.VectorsUsed = ev.VectorsUsed
+		j.status.Detected = ev.Detected
+		j.status.Active = ev.Active
+		subs := append([]chan service.ProgressEvent(nil), j.subs...)
+		j.mu.Unlock()
+		for _, ch := range subs {
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+func terminalState(s string) bool {
+	return s == service.StateDone || s == service.StateFailed || s == service.StateCancelled
+}
+
+// evictOldJobsLocked drops the oldest finished cluster jobs once the
+// retained set exceeds the configured bound, exactly as the service
+// does for its own jobs. Caller holds co.mu.
+func (co *Coordinator) evictOldJobsLocked() {
+	excess := len(co.order) - co.opts.MaxRetainedJobs
+	if excess <= 0 {
+		return
+	}
+	kept := co.order[:0]
+	for _, id := range co.order {
+		j := co.jobs[id]
+		j.mu.Lock()
+		done := terminalState(j.status.State)
+		j.mu.Unlock()
+		if excess > 0 && done {
+			delete(co.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	co.order = kept
+}
+
+func (co *Coordinator) job(id string) *cjob {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.jobs[id]
+}
+
+// Status returns the merged status of a cluster job. Identity fields
+// (circuit, fault count) fill in when the job completes; the progress
+// fields track the merged per-block frontier while it runs.
+func (co *Coordinator) Status(ctx context.Context, id string) (service.JobStatus, error) {
+	j := co.job(id)
+	if j == nil {
+		return service.JobStatus{}, service.ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, nil
+}
+
+// Result returns the merged grading outcome of a finished cluster job,
+// with the same error contract as the service: ErrNotDone while
+// running, ErrCancelled after a cancel, the failure for failed jobs.
+func (co *Coordinator) Result(ctx context.Context, id string) (*service.JobResult, error) {
+	j := co.job(id)
+	if j == nil {
+		return nil, service.ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status.State {
+	case service.StateDone:
+		return j.result, nil
+	case service.StateFailed:
+		return nil, fmt.Errorf("cluster: job %s failed: %s", id, j.status.Error)
+	case service.StateCancelled:
+		return nil, fmt.Errorf("%w (job %s)", service.ErrCancelled, id)
+	}
+	return nil, service.ErrNotDone
+}
+
+// Cancel aborts a cluster job by fanning the cancel out to every
+// sub-job; each backend stops at its next 64-pattern block barrier.
+// Idempotent on cancelled jobs; ErrFinished after completion.
+func (co *Coordinator) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	j := co.job(id)
+	if j == nil {
+		return service.JobStatus{}, service.ErrNotFound
+	}
+	j.mu.Lock()
+	switch j.status.State {
+	case service.StateDone, service.StateFailed:
+		st := j.status
+		j.mu.Unlock()
+		return st, service.ErrFinished
+	case service.StateCancelled:
+		st := j.status
+		j.mu.Unlock()
+		return st, nil
+	}
+	j.cancelled = true
+	st := j.status
+	j.mu.Unlock()
+	co.cancelSubJobs(j, nil)
+	return st, nil
+}
+
+// Subscribe returns a channel of merged per-block progress events for
+// a cluster job and a cancel function; the channel closes when the job
+// reaches a terminal state (immediately for finished jobs).
+func (co *Coordinator) Subscribe(id string) (<-chan service.ProgressEvent, func(), bool) {
+	j := co.job(id)
+	if j == nil {
+		return nil, nil, false
+	}
+	ch := make(chan service.ProgressEvent, 16)
+	j.mu.Lock()
+	if terminalState(j.status.State) {
+		close(ch)
+	} else {
+		j.subs = append(j.subs, ch)
+	}
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				break
+			}
+		}
+		j.mu.Unlock()
+	}
+	return ch, cancel, true
+}
+
+// Stream delivers merged progress events until the cluster job reaches
+// a terminal state and returns the final status. ctx aborts the
+// subscription, not the job.
+func (co *Coordinator) Stream(ctx context.Context, id string, fn func(service.ProgressEvent)) (service.JobStatus, error) {
+	ch, cancel, ok := co.Subscribe(id)
+	if !ok {
+		return service.JobStatus{}, service.ErrNotFound
+	}
+	defer cancel()
+	for {
+		select {
+		case <-ctx.Done():
+			return service.JobStatus{}, ctx.Err()
+		case ev, open := <-ch:
+			if !open {
+				return co.Status(ctx, id)
+			}
+			if fn != nil {
+				fn(ev)
+			}
+		}
+	}
+}
+
+// Shards returns the per-shard placement state of a cluster job, for
+// diagnostics.
+func (co *Coordinator) Shards(id string) ([]ShardStatus, error) {
+	j := co.job(id)
+	if j == nil {
+		return nil, service.ErrNotFound
+	}
+	out := make([]ShardStatus, len(j.shards))
+	for i, sh := range j.shards {
+		sh.mu.Lock()
+		st := ShardStatus{
+			Index:    sh.index,
+			Count:    sh.count,
+			RemoteID: sh.remoteID,
+			State:    sh.state,
+			Retries:  sh.retries,
+		}
+		if sh.backend != nil {
+			st.Backend = sh.backend.url
+		}
+		if sh.err != nil {
+			st.Error = sh.err.Error()
+		}
+		sh.mu.Unlock()
+		out[i] = st
+	}
+	return out, nil
+}
+
+// Stats sums the service counters of every reachable backend, fetched
+// concurrently so a dead backend costs one ProbeTimeout in total, not
+// per backend; it contributes nothing rather than failing the
+// aggregate.
+func (co *Coordinator) Stats(ctx context.Context) (service.Stats, error) {
+	stats := make([]*service.Stats, len(co.backends))
+	var wg sync.WaitGroup
+	for i, b := range co.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, co.opts.ProbeTimeout)
+			defer cancel()
+			st, err := b.cl.Stats(pctx)
+			if err != nil {
+				co.logf("cluster: stats from %s: %v", b.url, err)
+				return
+			}
+			stats[i] = &st
+		}(i, b)
+	}
+	wg.Wait()
+	var out service.Stats
+	for _, st := range stats {
+		if st == nil {
+			continue
+		}
+		out.JobsSubmitted += st.JobsSubmitted
+		out.JobsDone += st.JobsDone
+		out.JobsFailed += st.JobsFailed
+		out.JobsCancelled += st.JobsCancelled
+		out.JobsRunning += st.JobsRunning
+		out.JobsQueued += st.JobsQueued
+		out.Registry.CircuitHits += st.Registry.CircuitHits
+		out.Registry.CircuitMisses += st.Registry.CircuitMisses
+		out.Registry.GoodHits += st.Registry.GoodHits
+		out.Registry.GoodMisses += st.Registry.GoodMisses
+		out.Registry.Circuits += st.Registry.Circuits
+		out.Registry.Goods += st.Registry.Goods
+	}
+	return out, nil
+}
+
+// Jobs returns the status of every cluster job in submission order.
+func (co *Coordinator) Jobs() []service.JobStatus {
+	co.mu.Lock()
+	ids := append([]string(nil), co.order...)
+	co.mu.Unlock()
+	out := make([]service.JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if st, err := co.Status(context.Background(), id); err == nil {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Close waits for every submitted cluster job's orchestration to
+// finish (cancel them first for a fast shutdown).
+func (co *Coordinator) Close() error {
+	co.wg.Wait()
+	return nil
+}

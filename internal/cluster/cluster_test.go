@@ -1,0 +1,555 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/eda-go/adifo/internal/service"
+	"github.com/eda-go/adifo/internal/service/client"
+)
+
+// quiet suppresses service/coordinator log chatter in tests.
+func quiet(string, ...any) {}
+
+// newBackend spins up one in-process adifod-equivalent: a service
+// behind a real HTTP server.
+func newBackend(t *testing.T) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(service.Config{MaxConcurrentJobs: 4, Logf: quiet})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv, svc
+}
+
+func newBackends(t *testing.T, n int) ([]string, []*service.Service) {
+	t.Helper()
+	urls := make([]string, n)
+	svcs := make([]*service.Service, n)
+	for i := 0; i < n; i++ {
+		srv, svc := newBackend(t)
+		urls[i] = srv.URL
+		svcs[i] = svc
+	}
+	return urls, svcs
+}
+
+// referenceResult grades spec unsharded on a fresh single backend,
+// through the same HTTP+JSON path the cluster uses, and returns the
+// result.
+func referenceResult(t *testing.T, spec service.JobSpec) *service.JobResult {
+	t.Helper()
+	srv, _ := newBackend(t)
+	cl := client.New(srv.URL, nil)
+	ctx := context.Background()
+	id, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("reference submit: %v", err)
+	}
+	st, err := cl.Stream(ctx, id, nil)
+	if err != nil {
+		t.Fatalf("reference stream: %v", err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("reference job %s: %s", st.State, st.Error)
+	}
+	res, err := cl.Result(ctx, id)
+	if err != nil {
+		t.Fatalf("reference result: %v", err)
+	}
+	return res
+}
+
+// canonical marshals a result with its job id masked, so results from
+// different engines compare bit-for-bit on everything that matters.
+func canonical(t *testing.T, r *service.JobResult) string {
+	t.Helper()
+	cp := *r
+	cp.ID = "X"
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func clusterGrade(t *testing.T, co *Coordinator, spec service.JobSpec) *service.JobResult {
+	t.Helper()
+	ctx := context.Background()
+	id, err := co.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("cluster submit: %v", err)
+	}
+	lastBlock := -1
+	st, err := co.Stream(ctx, id, func(ev service.ProgressEvent) {
+		if ev.Block != lastBlock+1 {
+			t.Errorf("merged stream skipped from block %d to %d", lastBlock, ev.Block)
+		}
+		lastBlock = ev.Block
+	})
+	if err != nil {
+		t.Fatalf("cluster stream: %v", err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("cluster job %s: %s", st.State, st.Error)
+	}
+	res, err := co.Result(ctx, id)
+	if err != nil {
+		t.Fatalf("cluster result: %v", err)
+	}
+	return res
+}
+
+// TestClusterBitIdentical is the acceptance matrix: the cluster-merged
+// result over 2, 3 and 4 backends must be bit-identical to a
+// single-backend unsharded run in all three modes.
+func TestClusterBitIdentical(t *testing.T) {
+	specs := []service.JobSpec{
+		{Circuit: "c17", Mode: "nodrop",
+			Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 320, Seed: 7}}},
+		{Circuit: "c17", Mode: "drop",
+			Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 320, Seed: 7}}},
+		{Circuit: "c17", Mode: "ndetect", N: 3,
+			Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 320, Seed: 7}}},
+		{Circuit: "lion", Mode: "nodrop",
+			Patterns: service.PatternSpec{Exhaustive: true}},
+	}
+	for _, n := range []int{2, 3, 4} {
+		for _, spec := range specs {
+			name := fmt.Sprintf("%d-backends/%s-%s", n, spec.Circuit, spec.Mode)
+			t.Run(name, func(t *testing.T) {
+				want := canonical(t, referenceResult(t, spec))
+				urls, _ := newBackends(t, n)
+				co, err := New(urls, Options{Logf: quiet})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer co.Close()
+				res := clusterGrade(t, co, spec)
+				if got := canonical(t, res); got != want {
+					t.Fatalf("cluster result diverges from single-node run\n got: %s\nwant: %s", got, want)
+				}
+				shards, err := co.Shards("c1")
+				if err != nil || len(shards) != n {
+					t.Fatalf("shards: %v, %v (want %d)", shards, err, n)
+				}
+				for _, sh := range shards {
+					if sh.State != service.StateDone || sh.Retries != 0 {
+						t.Fatalf("shard %+v not cleanly done", sh)
+					}
+				}
+			})
+		}
+	}
+}
+
+// slowChainBench is a deep XOR chain whose grading spans enough blocks
+// to interrupt mid-run.
+func slowChainBench() string {
+	var b strings.Builder
+	const inputs, chain = 16, 400
+	for i := 0; i < inputs; i++ {
+		fmt.Fprintf(&b, "INPUT(i%d)\n", i)
+	}
+	fmt.Fprintf(&b, "OUTPUT(g%d)\n", chain-1)
+	fmt.Fprintf(&b, "g0 = XOR(i0, i1)\n")
+	for i := 1; i < chain; i++ {
+		fmt.Fprintf(&b, "g%d = XOR(g%d, i%d)\n", i, i-1, i%inputs)
+	}
+	return b.String()
+}
+
+// dyingBackend speaks just enough of the v1 wire to accept one shard,
+// stream one block, and then die for good — the deterministic stand-in
+// for a backend killed mid-job.
+type dyingBackend struct {
+	mu      sync.Mutex
+	dead    bool
+	submits int
+}
+
+func (d *dyingBackend) isDead() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead
+}
+
+func (d *dyingBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if d.isDead() {
+		panic(http.ErrAbortHandler)
+	}
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+		d.mu.Lock()
+		d.submits++
+		d.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintln(w, `{"id":"z1"}`)
+	case strings.HasSuffix(r.URL.Path, "/stream"):
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"job_id":"z1","state":"running","block":0,"blocks":1,"vectors_used":64,"detected":0,"active":1}`)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		d.mu.Lock()
+		d.dead = true
+		d.mu.Unlock()
+		panic(http.ErrAbortHandler)
+	case r.URL.Path == "/v1/stats":
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{}`)
+	default:
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// TestClusterBackendDeathMidJob kills one of three backends after it
+// has started streaming its shard; the shard must be retried on a
+// surviving backend and the merged result must still be bit-identical
+// to the single-node run.
+func TestClusterBackendDeathMidJob(t *testing.T) {
+	spec := service.JobSpec{
+		Bench: slowChainBench(), Name: "slow-chain", Mode: "nodrop",
+		Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 2048, Seed: 5}},
+	}
+	want := canonical(t, referenceResult(t, spec))
+
+	urls, _ := newBackends(t, 2)
+	dying := &dyingBackend{}
+	dsrv := httptest.NewServer(dying)
+	defer dsrv.Close()
+
+	co, err := New(append(urls, dsrv.URL), Options{Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	res := clusterGrade(t, co, spec)
+	if got := canonical(t, res); got != want {
+		t.Fatalf("result after backend death diverges\n got: %s\nwant: %s", got, want)
+	}
+	if !dying.isDead() {
+		t.Fatal("the dying backend never received its shard")
+	}
+	shards, err := co.Shards("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	retried := 0
+	for _, sh := range shards {
+		if sh.Backend == dsrv.URL {
+			t.Fatalf("shard %d still resides on the dead backend", sh.Index)
+		}
+		retried += sh.Retries
+	}
+	if retried == 0 {
+		t.Fatal("no shard was retried despite a backend death")
+	}
+}
+
+// TestClusterFlappingExcluded marks a backend as flapping after its
+// first failure (MaxBackendFailures=1) and checks that the next job is
+// sharded over the survivors only.
+func TestClusterFlappingExcluded(t *testing.T) {
+	spec := service.JobSpec{
+		Circuit: "c17", Mode: "nodrop",
+		Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 192, Seed: 2}},
+	}
+	want := canonical(t, referenceResult(t, spec))
+
+	urls, _ := newBackends(t, 2)
+	dying := &dyingBackend{}
+	dsrv := httptest.NewServer(dying)
+	defer dsrv.Close()
+
+	co, err := New([]string{urls[0], urls[1], dsrv.URL}, Options{Logf: quiet, MaxBackendFailures: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	if got := canonical(t, clusterGrade(t, co, spec)); got != want {
+		t.Fatalf("first job diverges\n got: %s\nwant: %s", got, want)
+	}
+
+	// The dying backend is now flapping: the next job must be sharded
+	// across the two survivors only, without probing timeouts.
+	id, err := co.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := co.Stream(context.Background(), id, nil); err != nil || st.State != service.StateDone {
+		t.Fatalf("second job: %+v, %v", st, err)
+	}
+	shards, err := co.Shards(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("second job used %d shards, want 2 (flapping backend excluded)", len(shards))
+	}
+	for _, sh := range shards {
+		if sh.Backend == dsrv.URL {
+			t.Fatalf("shard %d placed on the flapping backend", sh.Index)
+		}
+	}
+	res, err := co.Result(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := canonical(t, res); got != want {
+		t.Fatalf("second job diverges\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestClusterBackendDrainRetries: a backend cancelling a sub-job on
+// its own (a graceful drain, not our fan-out) is a lost shard, not a
+// cluster-level cancel — the shard is rerun elsewhere and the merged
+// result still matches the single-node run.
+func TestClusterBackendDrainRetries(t *testing.T) {
+	spec := service.JobSpec{
+		Bench: slowChainBench(), Name: "slow-chain", Mode: "nodrop",
+		Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 8192, Seed: 5}},
+	}
+	want := canonical(t, referenceResult(t, spec))
+
+	urls, svcs := newBackends(t, 2)
+	co, err := New(urls, Options{Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	ctx := context.Background()
+	id, err := co.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel backend 1's sub-job directly, exactly what its Drain()
+	// would do on SIGTERM.
+	shards, err := co.Shards(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := -1
+	for _, sh := range shards {
+		if sh.Backend == urls[1] {
+			drained = sh.Index
+			if _, err := svcs[1].Cancel(sh.RemoteID); err != nil {
+				t.Fatalf("backend-side cancel: %v", err)
+			}
+		}
+	}
+	if drained < 0 {
+		t.Fatal("no shard placed on backend 1")
+	}
+
+	st, err := co.Stream(ctx, id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("cluster job after backend drain: %s (%s), want done", st.State, st.Error)
+	}
+	res, err := co.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := canonical(t, res); got != want {
+		t.Fatalf("result after backend drain diverges\n got: %s\nwant: %s", got, want)
+	}
+	shards, _ = co.Shards(id)
+	if shards[drained].Retries == 0 {
+		t.Fatalf("drained shard %d was not retried: %+v", drained, shards[drained])
+	}
+}
+
+// TestClusterCancel fans a cancel out to every sub-job and the merged
+// stream ends with the cancelled status.
+func TestClusterCancel(t *testing.T) {
+	urls, svcs := newBackends(t, 3)
+	co, err := New(urls, Options{Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	ctx := context.Background()
+	id, err := co.Submit(ctx, service.JobSpec{
+		Bench: slowChainBench(), Name: "slow-chain", Mode: "nodrop",
+		Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 1 << 16, Seed: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := false
+	st, err := co.Stream(ctx, id, func(ev service.ProgressEvent) {
+		if !cancelled {
+			cancelled = true
+			if _, err := co.Cancel(ctx, id); err != nil {
+				t.Errorf("cancel: %v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateCancelled {
+		t.Fatalf("stream of cancelled cluster job ended with %q", st.State)
+	}
+	if _, err := co.Result(ctx, id); !errors.Is(err, service.ErrCancelled) {
+		t.Fatalf("result of cancelled job: %v, want ErrCancelled", err)
+	}
+	// Cancel is idempotent; a second cancel reports the state without
+	// error.
+	if st, err := co.Cancel(ctx, id); err != nil || st.State != service.StateCancelled {
+		t.Fatalf("second cancel: %+v, %v", st, err)
+	}
+	// Every backend saw its sub-job cancelled.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, svc := range svcs {
+		for {
+			if svc.Stats().JobsCancelled >= 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("backend never observed the fanned-out cancel")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// TestClusterSubmitValidation: spec errors surface synchronously, like
+// a direct service submit.
+func TestClusterSubmitValidation(t *testing.T) {
+	urls, _ := newBackends(t, 2)
+	co, err := New(urls, Options{Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	ctx := context.Background()
+
+	if _, err := co.Submit(ctx, service.JobSpec{Circuit: "c17",
+		Patterns: service.PatternSpec{Exhaustive: true}}); err == nil {
+		t.Fatal("missing mode must be rejected")
+	}
+	if _, err := co.Submit(ctx, service.JobSpec{Circuit: "c17", Mode: "nodrop",
+		Patterns:   service.PatternSpec{Exhaustive: true},
+		FaultShard: &service.FaultShard{Index: 0, Count: 2}}); err == nil {
+		t.Fatal("caller-supplied fault_shard must be rejected")
+	}
+	if _, err := co.Submit(ctx, service.JobSpec{Circuit: "c17", Mode: "drop",
+		Patterns:       service.PatternSpec{Exhaustive: true},
+		StopAtCoverage: 0.5}); err == nil {
+		t.Fatal("stop_at_coverage must be rejected on a cluster")
+	}
+
+	// No backends at all: every backend down fails the submit.
+	down, err := New([]string{"http://127.0.0.1:1"}, Options{Logf: quiet, ProbeTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := down.Submit(ctx, service.JobSpec{Circuit: "c17", Mode: "nodrop",
+		Patterns: service.PatternSpec{Exhaustive: true}}); err == nil {
+		t.Fatal("submit with no healthy backends must fail")
+	}
+}
+
+func TestClusterErrorsContract(t *testing.T) {
+	urls, _ := newBackends(t, 2)
+	co, err := New(urls, Options{Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	ctx := context.Background()
+	if _, err := co.Status(ctx, "c99"); !errors.Is(err, service.ErrNotFound) {
+		t.Fatalf("status: %v, want ErrNotFound", err)
+	}
+	if _, err := co.Result(ctx, "c99"); !errors.Is(err, service.ErrNotFound) {
+		t.Fatalf("result: %v, want ErrNotFound", err)
+	}
+	if _, err := co.Cancel(ctx, "c99"); !errors.Is(err, service.ErrNotFound) {
+		t.Fatalf("cancel: %v, want ErrNotFound", err)
+	}
+	id, err := co.Submit(ctx, service.JobSpec{Circuit: "c17", Mode: "nodrop",
+		Patterns: service.PatternSpec{Exhaustive: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Result(ctx, id); err != nil && !errors.Is(err, service.ErrNotDone) {
+		t.Fatalf("result of running job: %v, want nil-or-ErrNotDone", err)
+	}
+	if st, err := co.Stream(ctx, id, nil); err != nil || st.State != service.StateDone {
+		t.Fatalf("stream: %+v, %v", st, err)
+	}
+	if _, err := co.Cancel(ctx, id); !errors.Is(err, service.ErrFinished) {
+		t.Fatalf("cancel finished: %v, want ErrFinished", err)
+	}
+	if len(co.Jobs()) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(co.Jobs()))
+	}
+	st, err := co.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsDone != 2 { // one sub-job per backend
+		t.Fatalf("summed backend stats JobsDone = %d, want 2", st.JobsDone)
+	}
+}
+
+// TestMergeResultsValidation: a broken shard set must error, never
+// silently merge wrong.
+func TestMergeResultsValidation(t *testing.T) {
+	mk := func(i, count, total int) *service.JobResult {
+		lo, hi := service.ShardRange(total, i, count)
+		r := &service.JobResult{
+			Circuit: "c", Fingerprint: "f", Mode: "nodrop",
+			Faults: hi - lo, TotalFaults: total, Vectors: 64, VectorsUsed: 64,
+			FaultShard: &service.FaultShard{Index: i, Count: count},
+			Ndet:       make([]int, 64),
+		}
+		for f := lo; f < hi; f++ {
+			r.PerFault = append(r.PerFault, service.FaultResult{F: f})
+		}
+		return r
+	}
+	good := []*service.JobResult{mk(0, 2, 10), mk(1, 2, 10)}
+	if m, err := MergeResults("c1", good); err != nil || m.Faults != 10 || m.FaultShard != nil {
+		t.Fatalf("good merge: %+v, %v", m, err)
+	}
+	if _, err := MergeResults("c1", nil); err == nil {
+		t.Fatal("empty merge must fail")
+	}
+	if _, err := MergeResults("c1", []*service.JobResult{mk(0, 2, 10), mk(0, 2, 10)}); err == nil {
+		t.Fatal("duplicate shard index must fail")
+	}
+	if _, err := MergeResults("c1", []*service.JobResult{mk(0, 3, 10), mk(1, 3, 10)}); err == nil {
+		t.Fatal("incomplete shard count must fail")
+	}
+	bad := mk(1, 2, 10)
+	bad.Fingerprint = "other"
+	if _, err := MergeResults("c1", []*service.JobResult{mk(0, 2, 10), bad}); err == nil {
+		t.Fatal("fingerprint mismatch must fail")
+	}
+	unsharded := mk(0, 1, 10)
+	unsharded.FaultShard = nil
+	if _, err := MergeResults("c1", []*service.JobResult{unsharded}); err == nil {
+		t.Fatal("shardless result must fail")
+	}
+}

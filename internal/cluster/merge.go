@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/eda-go/adifo/internal/service"
+)
+
+// merger folds the per-shard progress streams into one merged
+// per-block feed. A merged event for block b is emitted once every
+// shard has either reported block b or finished earlier (a shard whose
+// faults all dropped stops streaming early; from then on it
+// contributes its final counters). Shard reruns after a backend death
+// reset their track and re-report identical per-block stats, so the
+// merged feed never regresses and never double-counts.
+type merger struct {
+	jobID string
+
+	mu      sync.Mutex
+	tracks  []shardTrack
+	emitted int // merged events emitted so far (== blocks fully merged)
+	blocks  int // total blocks, from the first event seen
+}
+
+type shardTrack struct {
+	done       bool
+	blocksDone int
+	hist       map[int]blockStat
+	// last is the most recent stat, used to fill gaps: progress events
+	// are advisory (a slow consumer may miss blocks), so a skipped
+	// block inherits the previous counters instead of merging zeros.
+	last  blockStat
+	final blockStat
+}
+
+type blockStat struct {
+	vectorsUsed int
+	detected    int
+	active      int
+}
+
+func newMerger(jobID string, count int) *merger {
+	m := &merger{jobID: jobID, tracks: make([]shardTrack, count)}
+	for i := range m.tracks {
+		m.tracks[i].hist = make(map[int]blockStat)
+	}
+	return m
+}
+
+// update records one progress event of shard i and returns any merged
+// events that became complete.
+func (m *merger) update(i int, ev service.ProgressEvent) []service.ProgressEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &m.tracks[i]
+	for b := t.blocksDone; b < ev.Block; b++ {
+		if _, ok := t.hist[b]; !ok {
+			t.hist[b] = t.last
+		}
+	}
+	st := blockStat{vectorsUsed: ev.VectorsUsed, detected: ev.Detected, active: ev.Active}
+	t.hist[ev.Block] = st
+	t.last = st
+	if ev.Block+1 > t.blocksDone {
+		t.blocksDone = ev.Block + 1
+	}
+	if ev.Blocks > m.blocks {
+		m.blocks = ev.Blocks
+	}
+	return m.collectLocked()
+}
+
+// markDone records shard i's terminal counters; the shard contributes
+// them to every merged block past its own early stop.
+func (m *merger) markDone(i int, st service.JobStatus) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &m.tracks[i]
+	t.done = true
+	t.final = blockStat{vectorsUsed: st.VectorsUsed, detected: st.Detected, active: st.Active}
+}
+
+// reset clears shard i's track for a rerun on another backend.
+func (m *merger) reset(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tracks[i] = shardTrack{hist: make(map[int]blockStat)}
+}
+
+// collect returns any merged events that are complete but unemitted
+// (used after markDone, which can complete pending blocks).
+func (m *merger) collect() []service.ProgressEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.collectLocked()
+}
+
+func (m *merger) collectLocked() []service.ProgressEvent {
+	var out []service.ProgressEvent
+	for {
+		b := m.emitted
+		maxDone := 0
+		for i := range m.tracks {
+			if m.tracks[i].blocksDone > maxDone {
+				maxDone = m.tracks[i].blocksDone
+			}
+		}
+		if b >= maxDone {
+			break
+		}
+		var st blockStat
+		complete := true
+		for i := range m.tracks {
+			t := &m.tracks[i]
+			var c blockStat
+			switch {
+			case t.blocksDone > b:
+				c = t.hist[b]
+			case t.done:
+				c = t.final
+			default:
+				complete = false
+			}
+			if !complete {
+				break
+			}
+			st.detected += c.detected
+			st.active += c.active
+			if c.vectorsUsed > st.vectorsUsed {
+				st.vectorsUsed = c.vectorsUsed
+			}
+		}
+		if !complete {
+			break
+		}
+		out = append(out, service.ProgressEvent{
+			JobID:       m.jobID,
+			State:       service.StateRunning,
+			Block:       b,
+			Blocks:      m.blocks,
+			VectorsUsed: st.vectorsUsed,
+			Detected:    st.detected,
+			Active:      st.active,
+		})
+		for i := range m.tracks {
+			delete(m.tracks[i].hist, b)
+		}
+		m.emitted++
+	}
+	return out
+}
+
+// MergeResults merges the per-shard results of one cluster job into
+// the result an unsharded single-node run of the same spec would have
+// produced, bit for bit:
+//
+//   - per-fault counters (DetCount, FirstDet, detection sets) are
+//     shard-local facts and concatenate in fault-index order;
+//   - per-vector ndet counters sum elementwise (a shard that stopped
+//     early contributes zero beyond its stop — all its faults were
+//     already dropped there, exactly as in the single run);
+//   - vectors-used is the maximum over shards: active sets only
+//     shrink, so the single run's global active list empties exactly
+//     when the last shard's does.
+//
+// The shards must be a complete partition: one result per shard index
+// 0..count-1, all with the same circuit fingerprint, mode and vector
+// set. Violations return an error rather than a silently wrong merge.
+func MergeResults(id string, shards []*service.JobResult) (*service.JobResult, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("cluster: no shard results to merge")
+	}
+	byIndex := make([]*service.JobResult, len(shards))
+	for _, r := range shards {
+		if r == nil {
+			return nil, errors.New("cluster: missing shard result")
+		}
+		if r.FaultShard == nil {
+			return nil, fmt.Errorf("cluster: result %s carries no fault_shard", r.ID)
+		}
+		if r.FaultShard.Count != len(shards) {
+			return nil, fmt.Errorf("cluster: result %s is shard %d of %d, merging %d",
+				r.ID, r.FaultShard.Index, r.FaultShard.Count, len(shards))
+		}
+		i := r.FaultShard.Index
+		if i < 0 || i >= len(shards) || byIndex[i] != nil {
+			return nil, fmt.Errorf("cluster: duplicate or out-of-range shard index %d", i)
+		}
+		byIndex[i] = r
+	}
+
+	first := byIndex[0]
+	out := &service.JobResult{
+		ID:          id,
+		Circuit:     first.Circuit,
+		Fingerprint: first.Fingerprint,
+		Mode:        first.Mode,
+		TotalFaults: first.TotalFaults,
+		Vectors:     first.Vectors,
+	}
+	nextF := 0
+	for i, r := range byIndex {
+		if r.Fingerprint != out.Fingerprint || r.Circuit != out.Circuit {
+			return nil, fmt.Errorf("cluster: shard %d graded %s/%s, shard 0 graded %s/%s",
+				i, r.Circuit, r.Fingerprint, out.Circuit, out.Fingerprint)
+		}
+		if r.Mode != out.Mode || r.Vectors != out.Vectors || r.TotalFaults != out.TotalFaults {
+			return nil, fmt.Errorf("cluster: shard %d (mode %s, %d vectors, %d total faults) does not match shard 0 (mode %s, %d vectors, %d total faults)",
+				i, r.Mode, r.Vectors, r.TotalFaults, out.Mode, out.Vectors, out.TotalFaults)
+		}
+		lo, hi := service.ShardRange(r.TotalFaults, i, len(byIndex))
+		if r.Faults != hi-lo || len(r.PerFault) != hi-lo {
+			return nil, fmt.Errorf("cluster: shard %d has %d faults, want range [%d, %d)", i, r.Faults, lo, hi)
+		}
+		for k, fr := range r.PerFault {
+			if fr.F != nextF {
+				return nil, fmt.Errorf("cluster: shard %d fault %d has global index %d, want %d", i, k, fr.F, nextF)
+			}
+			nextF++
+		}
+		out.Faults += r.Faults
+		out.Detected += r.Detected
+		if r.VectorsUsed > out.VectorsUsed {
+			out.VectorsUsed = r.VectorsUsed
+		}
+		if len(r.Ndet) > len(out.Ndet) {
+			out.Ndet = append(out.Ndet, make([]int, len(r.Ndet)-len(out.Ndet))...)
+		}
+		for u, n := range r.Ndet {
+			out.Ndet[u] += n
+		}
+		out.PerFault = append(out.PerFault, r.PerFault...)
+	}
+	if out.Faults != out.TotalFaults {
+		return nil, fmt.Errorf("cluster: shards cover %d of %d faults", out.Faults, out.TotalFaults)
+	}
+	if out.Faults > 0 {
+		out.Coverage = float64(out.Detected) / float64(out.Faults)
+	}
+	return out, nil
+}

@@ -15,6 +15,7 @@ const (
 	CodeCancelled      = "cancelled"       // job was cancelled, it has no result
 	CodeFinished       = "finished"        // cancel requested after the job finished
 	CodeJobFailed      = "job_failed"      // the job itself failed
+	CodeUnavailable    = "unavailable"     // server draining, not accepting jobs
 )
 
 // APIError is the typed error of the v1 wire contract. Handlers send
@@ -43,6 +44,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == CodeCancelled
 	case ErrFinished:
 		return e.Code == CodeFinished
+	case ErrDraining:
+		return e.Code == CodeUnavailable
 	}
 	return false
 }
@@ -109,6 +112,10 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id, err := s.Submit(spec)
+	if errors.Is(err, ErrDraining) {
+		s.writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
+		return
+	}
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return

@@ -1,9 +1,13 @@
 package service
 
 import (
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/eda-go/adifo/internal/benchdata"
+	"github.com/eda-go/adifo/internal/circuit"
 	"github.com/eda-go/adifo/internal/logic"
 	"github.com/eda-go/adifo/internal/prng"
 )
@@ -129,6 +133,90 @@ func TestRegistryGoodCaching(t *testing.T) {
 	}
 	if g1.Bytes() <= 0 {
 		t.Fatal("Bytes() must be positive")
+	}
+}
+
+// TestRegistryEvictionDuringBuild races LRU eviction against an
+// in-flight single-flight build: a waiter that joined the slot before
+// the eviction must share the one build (no double-build), both
+// callers must get a fully usable entry (no use-after-evict — the
+// entry is self-contained, eviction only forgets the cache key), and a
+// later lookup of the evicted key rebuilds cleanly.
+func TestRegistryEvictionDuringBuild(t *testing.T) {
+	r := NewRegistry(1, 1) // capacity 1: any other key evicts the slot
+	var builds atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	build := func() (*circuit.Circuit, error) {
+		if builds.Add(1) == 1 {
+			close(started)
+		}
+		<-release
+		return circuit.ParseBench("c17", strings.NewReader(benchdata.C17))
+	}
+
+	type outcome struct {
+		entry *CircuitEntry
+		err   error
+	}
+	results := make(chan outcome, 2)
+	lookup := func() {
+		e, err := r.Circuit("k", build)
+		results <- outcome{e, err}
+	}
+	go lookup()
+	<-started // the first builder is inside build(), blocked on release
+
+	// Second caller: must join the in-flight slot (a cache hit on the
+	// same sync.Once), observable as CircuitHits == 1.
+	go lookup()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().CircuitHits < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second lookup never hit the in-flight slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Evict the in-flight slot while both callers wait on its build.
+	if _, err := r.CircuitFor(JobSpec{Circuit: "lion"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Circuits != 1 {
+		t.Fatalf("registry holds %d circuits, want 1 (the evictor)", st.Circuits)
+	}
+
+	close(release)
+	o1, o2 := <-results, <-results
+	if o1.err != nil || o2.err != nil {
+		t.Fatalf("builds failed: %v, %v", o1.err, o2.err)
+	}
+	if o1.entry != o2.entry {
+		t.Fatal("waiter did not share the single-flight build (double build or divergent entries)")
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times for two concurrent lookups, want 1", n)
+	}
+	// The evicted entry is still fully usable: it owns its circuit and
+	// fault list, eviction only dropped the cache key.
+	if o1.entry.Circuit == nil || o1.entry.Faults.Len() != 22 || o1.entry.Fingerprint == 0 {
+		t.Fatalf("entry unusable after eviction: %+v", o1.entry)
+	}
+
+	// A fresh lookup of the evicted key is a miss and rebuilds (the
+	// gate is already open, so the second build completes immediately).
+	e3, err := r.Circuit("k", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("rebuild after eviction ran build %d times total, want 2", builds.Load())
+	}
+	if e3 == o1.entry {
+		t.Fatal("rebuild returned the evicted slot's entry pointer; expected a fresh slot")
+	}
+	if e3.Fingerprint != o1.entry.Fingerprint {
+		t.Fatal("rebuild produced a divergent circuit")
 	}
 }
 

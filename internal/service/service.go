@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/eda-go/adifo/internal/fault"
 	"github.com/eda-go/adifo/internal/fsim"
 	"github.com/eda-go/adifo/internal/logic"
 	"github.com/eda-go/adifo/internal/prng"
@@ -70,11 +71,37 @@ type JobSpec struct {
 	// N is the drop threshold for ndetect mode.
 	N int `json:"n,omitempty"`
 	// Workers overrides the service's shard worker count for this job
-	// (0 = service default). Results never depend on it.
+	// (0 = service default). Results never depend on it. Out-of-range
+	// values (negative, or above the service's SimWorkers) are rejected
+	// at submit time rather than silently clamped.
 	Workers int `json:"workers,omitempty"`
 	// StopAtCoverage, when positive, stops after the first block
 	// reaching that fault coverage.
 	StopAtCoverage float64 `json:"stop_at_coverage,omitempty"`
+	// FaultShard, when set, restricts the job to one deterministic
+	// index-range shard of the collapsed fault universe, graded against
+	// the full pattern set. Dropping decisions are per-fault, so
+	// disjoint shards have no cross-fault control dependence and a set
+	// of shard results merges bit-identically to an unsharded run (the
+	// internal/cluster coordinator relies on this). Incompatible with
+	// StopAtCoverage, whose cut-off depends on global coverage.
+	FaultShard *FaultShard `json:"fault_shard,omitempty"`
+}
+
+// FaultShard selects shard Index of Count over the collapsed fault
+// universe: the half-open index range ShardRange(faults, Index, Count).
+type FaultShard struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// ShardRange returns the half-open collapsed-fault index range
+// [lo, hi) of shard index of count over n faults. The count ranges
+// partition [0, n) exactly, each of size n/count or n/count+1, so the
+// partition is a pure function of (n, count) — every party (service,
+// cluster coordinator, tests) derives the same shards.
+func ShardRange(n, index, count int) (lo, hi int) {
+	return index * n / count, (index + 1) * n / count
 }
 
 // PatternSpec selects the vector set: exactly one of Random,
@@ -124,6 +151,10 @@ type JobStatus struct {
 	Detected    int `json:"detected"`
 	Active      int `json:"active"`
 
+	// FaultShard echoes the spec's shard selector for shard jobs;
+	// Faults then counts only the shard's faults.
+	FaultShard *FaultShard `json:"fault_shard,omitempty"`
+
 	Error string `json:"error,omitempty"`
 }
 
@@ -141,15 +172,22 @@ type ProgressEvent struct {
 // JobResult is the full grading outcome, matching what a direct
 // library run returns.
 type JobResult struct {
-	ID          string  `json:"id"`
-	Circuit     string  `json:"circuit"`
-	Fingerprint string  `json:"fingerprint"`
-	Mode        string  `json:"mode"`
-	Faults      int     `json:"faults"`
-	Vectors     int     `json:"vectors"`
-	VectorsUsed int     `json:"vectors_used"`
-	Detected    int     `json:"detected"`
-	Coverage    float64 `json:"coverage"`
+	ID          string `json:"id"`
+	Circuit     string `json:"circuit"`
+	Fingerprint string `json:"fingerprint"`
+	Mode        string `json:"mode"`
+	// Faults counts the faults this job graded (the shard size for
+	// shard jobs); TotalFaults is the full collapsed universe, so shard
+	// results carry everything a merge needs to validate completeness.
+	Faults      int `json:"faults"`
+	TotalFaults int `json:"total_faults"`
+	// FaultShard echoes the spec's shard selector; nil on unsharded
+	// jobs and on merged cluster results.
+	FaultShard  *FaultShard `json:"fault_shard,omitempty"`
+	Vectors     int         `json:"vectors"`
+	VectorsUsed int         `json:"vectors_used"`
+	Detected    int         `json:"detected"`
+	Coverage    float64     `json:"coverage"`
 	// Ndet[u] is the number of faults detected by vector u under the
 	// job's dropping policy.
 	Ndet []int `json:"ndet"`
@@ -179,12 +217,15 @@ type Stats struct {
 	JobsQueued    int           `json:"jobs_queued"`
 }
 
-// Errors returned by Result and Cancel.
+// Errors returned by Submit, Result and Cancel.
 var (
 	ErrNotFound  = errors.New("service: job not found")
 	ErrNotDone   = errors.New("service: job not finished")
 	ErrCancelled = errors.New("service: job cancelled")
 	ErrFinished  = errors.New("service: job already finished")
+	// ErrDraining is returned by Submit once Drain has been called:
+	// the service is shutting down and accepts no new jobs.
+	ErrDraining = errors.New("service: draining, not accepting new jobs")
 )
 
 // Service is the concurrent fault-grading engine.
@@ -202,6 +243,7 @@ type Service struct {
 	done      uint64
 	failed    uint64
 	cancelled uint64
+	draining  bool
 }
 
 type job struct {
@@ -277,11 +319,33 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 	if mode != fsim.NDetect && spec.N != 0 {
 		return "", fmt.Errorf("n is only meaningful in ndetect mode")
 	}
+	if spec.Workers < 0 || spec.Workers > s.cfg.SimWorkers {
+		return "", fmt.Errorf("workers %d out of range [0, %d] (0 = service default)",
+			spec.Workers, s.cfg.SimWorkers)
+	}
+	if fs := spec.FaultShard; fs != nil {
+		if fs.Count < 1 {
+			return "", fmt.Errorf("fault_shard count %d must be >= 1", fs.Count)
+		}
+		if fs.Index < 0 || fs.Index >= fs.Count {
+			return "", fmt.Errorf("fault_shard index %d out of range [0, %d)", fs.Index, fs.Count)
+		}
+		if spec.StopAtCoverage > 0 {
+			// The cut-off is defined on global coverage, which a shard
+			// cannot observe; allowing it would silently break the
+			// bit-identical merge guarantee.
+			return "", fmt.Errorf("stop_at_coverage cannot be combined with fault_shard")
+		}
+	}
 	if err := validatePatterns(spec.Patterns); err != nil {
 		return "", err
 	}
 
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return "", ErrDraining
+	}
 	s.seq++
 	s.submitted++
 	id := fmt.Sprintf("j%d", s.seq)
@@ -293,16 +357,20 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 		ctx:    ctx,
 		cancel: cancel,
 		status: JobStatus{
-			ID:    id,
-			State: StateQueued,
+			ID:         id,
+			State:      StateQueued,
+			FaultShard: spec.FaultShard,
 		},
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.evictOldJobsLocked()
+	// Registered under the lock: a concurrent Drain either sees the
+	// draining flag before this Submit passed the check above, or its
+	// wg.Wait observes this job — never neither.
+	s.wg.Add(1)
 	s.mu.Unlock()
 
-	s.wg.Add(1)
 	go s.run(j)
 	return id, nil
 }
@@ -471,6 +539,26 @@ func (s *Service) Stats() Stats {
 // Close waits for all submitted jobs to finish.
 func (s *Service) Close() { s.wg.Wait() }
 
+// Drain shuts the service down gracefully: Submit rejects new jobs
+// with ErrDraining from the moment Drain is called, every queued job
+// is cancelled immediately, every running job is cancelled at its next
+// 64-pattern block barrier (their streams end with the cancelled
+// status), and Drain returns once all job goroutines have finished.
+// Idempotent: concurrent and repeated calls all wait for the same
+// quiescent state.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	for _, id := range ids {
+		// ErrFinished and ErrNotFound (evicted) are fine: the job is
+		// already out of the way.
+		s.Cancel(id)
+	}
+	s.wg.Wait()
+}
+
 // evictOldJobsLocked drops the oldest finished jobs once the retained
 // set exceeds the configured bound, so a long-running server's memory
 // stays proportional to MaxRetainedJobs rather than to its lifetime
@@ -538,12 +626,23 @@ func (s *Service) run(j *job) {
 		return
 	}
 
+	// A shard job grades only its index range of the collapsed
+	// universe, against the full pattern set. The sub-list shares the
+	// cached entry's backing array read-only; shardLo maps shard-local
+	// fault indices back to global ones in the result.
+	faults, shardLo := entry.Faults, 0
+	if fs := j.spec.FaultShard; fs != nil {
+		lo, hi := ShardRange(entry.Faults.Len(), fs.Index, fs.Count)
+		shardLo = lo
+		faults = &fault.List{Circuit: entry.Circuit, Faults: entry.Faults.Faults[lo:hi]}
+	}
+
 	j.mu.Lock()
 	j.status.Circuit = entry.Circuit.Name
-	j.status.Faults = entry.Faults.Len()
+	j.status.Faults = faults.Len()
 	j.status.Vectors = ps.Len()
 	j.status.Blocks = ps.Blocks()
-	j.status.Active = entry.Faults.Len()
+	j.status.Active = faults.Len()
 	j.mu.Unlock()
 
 	// Early-stopping jobs (drop mode, coverage cut-off) often touch only
@@ -555,11 +654,13 @@ func (s *Service) run(j *job) {
 	if j.opts.Mode != fsim.Drop && j.opts.StopAtCoverage == 0 {
 		good = s.reg.Good(entry, patternKey, ps)
 	}
+	// Submit already rejected out-of-range values; 0 means the service
+	// default.
 	workers := j.spec.Workers
-	if workers <= 0 || workers > s.cfg.SimWorkers {
+	if workers == 0 {
 		workers = s.cfg.SimWorkers
 	}
-	res, err := fsim.RunParallelCtx(j.ctx, entry.Faults, ps, fsim.ParallelOptions{
+	res, err := fsim.RunParallelCtx(j.ctx, faults, ps, fsim.ParallelOptions{
 		Options:  j.opts,
 		Workers:  workers,
 		Good:     good,
@@ -570,7 +671,7 @@ func (s *Service) run(j *job) {
 		return
 	}
 
-	result := buildResult(j, entry, ps.Len(), res)
+	result := buildResult(j, entry, faults, shardLo, ps.Len(), res)
 	j.mu.Lock()
 	j.status.State = StateDone
 	j.status.VectorsUsed = res.VectorsUsed
@@ -655,24 +756,30 @@ func (j *job) publish(p fsim.Progress) {
 	}
 }
 
-func buildResult(j *job, entry *CircuitEntry, vectors int, res *fsim.Result) *JobResult {
+// buildResult assembles the wire result. faults is the graded list (a
+// shard sub-list of entry.Faults for shard jobs) and shardLo maps its
+// local indices back to global collapsed-universe indices, so FaultResult.F
+// is always global and shard results concatenate directly.
+func buildResult(j *job, entry *CircuitEntry, faults *fault.List, shardLo, vectors int, res *fsim.Result) *JobResult {
 	c := entry.Circuit
 	out := &JobResult{
 		ID:          j.id,
 		Circuit:     c.Name,
 		Fingerprint: fmt.Sprintf("%016x", entry.Fingerprint),
 		Mode:        j.opts.Mode.String(),
-		Faults:      entry.Faults.Len(),
+		Faults:      faults.Len(),
+		TotalFaults: entry.Faults.Len(),
+		FaultShard:  j.spec.FaultShard,
 		Vectors:     vectors,
 		VectorsUsed: res.VectorsUsed,
 		Detected:    res.DetectedCount(),
 		Coverage:    res.Coverage(),
 		Ndet:        append([]int(nil), res.Ndet...),
-		PerFault:    make([]FaultResult, entry.Faults.Len()),
+		PerFault:    make([]FaultResult, faults.Len()),
 	}
-	for fi, f := range entry.Faults.Faults {
+	for fi, f := range faults.Faults {
 		fr := FaultResult{
-			F:        fi,
+			F:        shardLo + fi,
 			Name:     f.Name(c),
 			DetCount: res.DetCount[fi],
 			FirstDet: res.FirstDet[fi],
