@@ -1,8 +1,8 @@
 // Command adifo is the Swiss-army tool of the library: circuit
-// statistics, fault listing, ADI computation, fault-order inspection
-// and fault grading (in-process or against an adifod server) on any
-// circuit. It is built entirely on the public adifo package — the same
-// surface an external Go program uses.
+// statistics, fault listing, ADI computation, fault-order inspection,
+// fault grading and test generation (in-process or against an adifod
+// server) on any circuit. It is built entirely on the public adifo
+// package — the same surface an external Go program uses.
 //
 // Usage:
 //
@@ -10,6 +10,9 @@
 //	adifo faults -circuit c17
 //	adifo adi    -circuit lion -exhaustive
 //	adifo order  -circuit lion -exhaustive -order dynm
+//	adifo order  -server http://localhost:8417 -circuit c17 -order dynm
+//	adifo gen    -circuit c17 -order dynm -n 256
+//	adifo gen    -server http://localhost:8417 -circuit my.bench -order 0dynm
 //	adifo grade  -circuit c17 -mode drop -n 256
 //	adifo grade  -server http://localhost:8417 -circuit my.bench
 //	adifo grade  -server http://hostA:8417 -server http://hostB:8417 -circuit irs1238
@@ -17,11 +20,18 @@
 // Repeating -server grades on a cluster: the fault universe is
 // sharded across the servers, each grades its shard against the full
 // pattern set, and the merged result is bit-identical to a single-node
-// run.
+// run. Only grade jobs shard: gen and order accept a single -server
+// (ATPG and the dynamic orders are sequential over shared state).
 //
-// An interrupt (Ctrl-C) during grade cancels the job — on the server
-// (or every cluster backend) when -server is set — and the stream
-// terminates with the cancelled status.
+// With -server, gen and order use exactly the requested vector set
+// (-n random vectors or -exhaustive) as U; without it, order keeps
+// its historical behavior of sizing U at the paper's target coverage.
+//
+// An interrupt (Ctrl-C) during grade or gen cancels the job — on the
+// server (or every cluster backend) when -server is set — and the
+// stream terminates with the cancelled status. A job that ends
+// cancelled exits non-zero with a distinct message from one that
+// failed.
 package main
 
 import (
@@ -43,13 +53,19 @@ commands:
   stats    structural statistics of a circuit
   faults   list the collapsed stuck-at fault set
   adi      compute accidental detection indices
-  order    print a fault order
+  order    print a fault order (remotely with -server)
+  gen      generate an ADI-ordered test set (remotely with -server)
   grade    fault-grade a circuit via the grading service
 
 common flags:
   -circuit ref   embedded name (c17, s27, lion), suite name, or .bench path
   -exhaustive    use all 2^inputs vectors for U (inputs <= 20)
   -n, -seed      random vector count / seed for U
+  -order k       fault order: orig, incr0, decr, 0decr, dynm, 0dynm
+
+gen flags:
+  -server url    adifod server to generate on (default: in-process)
+  -fillseed s    seed for the random fill of unspecified inputs
 
 grade flags:
   -server url    adifod server to grade on (default: in-process);
@@ -70,10 +86,11 @@ type options struct {
 	order      string
 	limit      int
 
-	servers serverList
-	mode    string
-	ndet    int
-	quiet   bool
+	servers  serverList
+	mode     string
+	ndet     int
+	fillseed uint64
+	quiet    bool
 }
 
 // serverList is the repeatable -server flag: one URL grades remotely,
@@ -106,6 +123,7 @@ func main() {
 	fs.Var(&o.servers, "server", "adifod server URL, repeatable for a cluster (none = grade in-process)")
 	fs.StringVar(&o.mode, "mode", "nodrop", "grading mode: nodrop, drop or ndetect")
 	fs.IntVar(&o.ndet, "ndet", 0, "drop threshold for ndetect mode")
+	fs.Uint64Var(&o.fillseed, "fillseed", adifo.DefaultFillSeed, "seed for the ATPG's random fill of unspecified inputs")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress per-block progress lines")
 	fs.Parse(os.Args[2:])
 
@@ -116,8 +134,15 @@ func main() {
 }
 
 func run(cmd string, o options) error {
-	if cmd == "grade" {
+	switch cmd {
+	case "grade":
 		return grade(o, os.Stdout)
+	case "gen":
+		return gen(o, os.Stdout)
+	case "order":
+		if len(o.servers) > 0 {
+			return orderRemote(o, os.Stdout)
+		}
 	}
 	c, err := adifo.LoadCircuit(o.circuit)
 	if err != nil {
@@ -227,28 +252,7 @@ func grade(o options, out *os.File) error {
 		return err
 	}
 	fmt.Fprintf(out, "job %s submitted to %s\n", id, where)
-
-	// Ctrl-C cancels the job rather than abandoning it; the progress
-	// stream then terminates with the cancelled status.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	defer signal.Stop(sig)
-	watcherDone := make(chan struct{})
-	defer close(watcherDone)
-	go func() {
-		select {
-		case <-sig:
-			// Restore default handling so a second Ctrl-C kills the
-			// process even if the cancel request hangs.
-			signal.Stop(sig)
-			fmt.Fprintf(out, "interrupt: cancelling job %s\n", id)
-			if _, err := g.Cancel(context.Background(), id); err != nil &&
-				!errors.Is(err, adifo.ErrJobFinished) {
-				fmt.Fprintf(out, "cancel failed: %v\n", err)
-			}
-		case <-watcherDone:
-		}
-	}()
+	defer cancelOnInterrupt(g, id, out)()
 
 	st, err := g.Stream(ctx, id, func(ev adifo.ProgressEvent) {
 		if !o.quiet {
@@ -259,8 +263,8 @@ func grade(o options, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	if st.State != adifo.JobDone {
-		return fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+	if err := terminalError(id, st); err != nil {
+		return err
 	}
 	res, err := g.Result(ctx, id)
 	if err != nil {
@@ -290,14 +294,15 @@ func grade(o options, out *os.File) error {
 	return nil
 }
 
-// gradeSpec builds the job spec. Precedence matches adifo.LoadCircuit:
-// an embedded or suite name wins over a same-named local file, so
-// `grade -circuit c17` always means the embedded benchmark. A
-// non-name reference is read as a .bench file and shipped as inline
-// netlist text (the server never touches the client's filesystem);
-// anything else is passed through for the server to reject.
-func gradeSpec(o options) (adifo.JobSpec, error) {
-	spec := adifo.JobSpec{Mode: o.mode, N: o.ndet}
+// baseSpec builds the circuit and pattern parts of a job spec, shared
+// by every remote verb. Precedence matches adifo.LoadCircuit: an
+// embedded or suite name wins over a same-named local file, so
+// `-circuit c17` always means the embedded benchmark. A non-name
+// reference is read as a .bench file and shipped as inline netlist
+// text (the server never touches the client's filesystem); anything
+// else is passed through for the server to reject.
+func baseSpec(o options) adifo.JobSpec {
+	var spec adifo.JobSpec
 	if data, err := os.ReadFile(o.circuit); err == nil && !adifo.IsNamedCircuit(o.circuit) {
 		spec.Bench = string(data)
 		spec.Name = o.circuit
@@ -309,7 +314,255 @@ func gradeSpec(o options) (adifo.JobSpec, error) {
 	} else {
 		spec.Patterns.Random = &adifo.RandomSpec{N: o.n, Seed: o.seed}
 	}
+	return spec
+}
+
+// gradeSpec builds a grade job spec.
+func gradeSpec(o options) (adifo.JobSpec, error) {
+	spec := baseSpec(o)
+	spec.Mode = o.mode
+	spec.N = o.ndet
 	return spec, nil
+}
+
+// canceller is the slice of a job front end the interrupt watcher
+// needs.
+type canceller interface {
+	Cancel(ctx context.Context, id string) (adifo.JobStatus, error)
+}
+
+// cancelOnInterrupt installs a Ctrl-C handler that cancels job id on g
+// rather than abandoning it; the progress stream then terminates with
+// the cancelled status. The returned stop function uninstalls it.
+func cancelOnInterrupt(g canceller, id string, out *os.File) func() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sig:
+			// Restore default handling so a second Ctrl-C kills the
+			// process even if the cancel request hangs.
+			signal.Stop(sig)
+			fmt.Fprintf(out, "interrupt: cancelling job %s\n", id)
+			if _, err := g.Cancel(context.Background(), id); err != nil &&
+				!errors.Is(err, adifo.ErrJobFinished) {
+				fmt.Fprintf(out, "cancel failed: %v\n", err)
+			}
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(sig)
+		close(done)
+	}
+}
+
+// terminalError maps a job's terminal status to the verb's outcome: a
+// done job is success; a cancelled job and a failed job are distinct
+// non-zero failures. The distinction matters to callers and scripts —
+// a cancelled run was asked to stop, a failed run crashed — so the two
+// must never collapse into one message.
+func terminalError(id string, st adifo.JobStatus) error {
+	switch st.State {
+	case adifo.JobDone:
+		return nil
+	case adifo.JobCancelled:
+		return fmt.Errorf("job %s was cancelled before completion", id)
+	case adifo.JobFailed:
+		return fmt.Errorf("job %s failed: %s", id, st.Error)
+	}
+	return fmt.Errorf("job %s ended in unexpected state %q", id, st.State)
+}
+
+// gen generates an ADI-ordered test set: in-process through the public
+// library by default, or as a remote atpg job when -server is set —
+// the two paths produce bit-identical test sets for equal inputs.
+func gen(o options, out *os.File) error {
+	kind, err := adifo.ParseOrder(o.order)
+	if err != nil {
+		return err
+	}
+	if len(o.servers) > 1 {
+		return errors.New("gen accepts a single -server: ATPG jobs are sequential over shared drop state and cannot be fault-sharded across a cluster")
+	}
+	if len(o.servers) == 1 {
+		return genRemote(o, kind, out)
+	}
+
+	ctx := context.Background()
+	c, err := adifo.LoadCircuit(o.circuit)
+	if err != nil {
+		return err
+	}
+	fl := adifo.Faults(c)
+	u := rawVectorSet(c, o)
+	ix, err := adifo.ComputeADI(ctx, fl, u)
+	if err != nil {
+		return err
+	}
+	res, err := adifo.GenerateTests(ctx, fl, ix.Order(kind), adifo.WithFillSeed(o.fillseed))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "circuit     %s\n", c.Name)
+	fmt.Fprintf(out, "order       %v, U %d vectors\n", kind, u.Len())
+	printGenSummary(out, o.limit, len(res.Tests), res.Detected(), fl.Len(), res.Coverage(),
+		res.AVE(), res.AtpgCalls, res.Backtracks, func(i int) (string, int) {
+			return vectorString(res.Tests[i]), res.TargetOf[i]
+		})
+	return nil
+}
+
+// genRemote runs the gen verb against one adifod server.
+func genRemote(o options, kind adifo.OrderKind, out *os.File) error {
+	ctx := context.Background()
+	g := adifo.NewRemoteGenerator(o.servers[0], nil)
+	defer g.Close()
+
+	spec := baseSpec(o)
+	spec.Order = &adifo.OrderSpec{Kind: kind.String()}
+	spec.Gen = &adifo.GenSpec{FillSeed: o.fillseed}
+	id, err := g.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "job %s submitted to %s\n", id, o.servers[0])
+	defer cancelOnInterrupt(g, id, out)()
+
+	st, err := g.Stream(ctx, id, func(ev adifo.ProgressEvent) {
+		if o.quiet {
+			return
+		}
+		if ev.Targets > 0 {
+			fmt.Fprintf(out, "target %d/%d: %d tests, %d detected, %d active\n",
+				ev.Target, ev.Targets, ev.Tests, ev.Detected, ev.Active)
+		} else {
+			fmt.Fprintf(out, "block %d/%d: %d vectors, %d detected\n",
+				ev.Block+1, ev.Blocks, ev.VectorsUsed, ev.Detected)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if err := terminalError(id, st); err != nil {
+		return err
+	}
+	res, err := g.Result(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "circuit     %s (fingerprint %s)\n", res.Circuit, res.Fingerprint)
+	fmt.Fprintf(out, "order       %s, U %d vectors\n", res.Order, res.Vectors)
+	printGenSummary(out, o.limit, len(res.Tests), res.Detected, res.Faults, res.Coverage,
+		res.AVE, res.AtpgCalls, res.Backtracks, func(i int) (string, int) {
+			return res.Tests[i], res.TargetOf[i]
+		})
+	return nil
+}
+
+// printGenSummary renders a generation outcome — local or remote, the
+// same layout — with at most limit test rows (0 = all).
+func printGenSummary(out *os.File, limit, tests, detected, faults int, coverage, ave float64,
+	atpgCalls, backtracks int, test func(i int) (string, int)) {
+	fmt.Fprintf(out, "tests       %d, detected %d/%d (%.2f%%), AVE %.2f\n",
+		tests, detected, faults, 100*coverage, ave)
+	fmt.Fprintf(out, "effort      %d ATPG calls, %d backtracks\n", atpgCalls, backtracks)
+	for i := 0; i < tests; i++ {
+		if limit > 0 && i >= limit {
+			fmt.Fprintf(out, "... (%d more)\n", tests-i)
+			break
+		}
+		v, target := test(i)
+		fmt.Fprintf(out, "t%-4d %s (for f%d)\n", i, v, target)
+	}
+}
+
+// vectorString renders a test vector as a bit string, matching the
+// wire encoding of AtpgResult.Tests.
+func vectorString(v adifo.Vector) string {
+	b := make([]byte, len(v))
+	for i, bit := range v {
+		if bit != 0 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// rawVectorSet builds the vector set U without coverage sizing — the
+// set a remote job would use for the same flags, keeping the local and
+// remote gen paths bit-identical.
+func rawVectorSet(c *adifo.Circuit, o options) *adifo.PatternSet {
+	if o.exhaustive {
+		return adifo.ExhaustivePatterns(c.NumInputs())
+	}
+	return adifo.RandomPatterns(c.NumInputs(), o.n, o.seed)
+}
+
+// orderRemote runs the order verb as a remote adi_order job. Unlike
+// the in-process path it uses the raw requested vector set as U (no
+// coverage sizing), exactly like gen.
+func orderRemote(o options, out *os.File) error {
+	kind, err := adifo.ParseOrder(o.order)
+	if err != nil {
+		return err
+	}
+	if len(o.servers) > 1 {
+		return errors.New("order accepts a single -server: the dynamic orders are sequential over shared ndet state and cannot be fault-sharded across a cluster")
+	}
+	ctx := context.Background()
+	or := adifo.NewRemoteOrderer(o.servers[0], nil)
+	defer or.Close()
+
+	spec := baseSpec(o)
+	spec.Order = &adifo.OrderSpec{Kind: kind.String()}
+	id, err := or.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "job %s submitted to %s\n", id, o.servers[0])
+	defer cancelOnInterrupt(or, id, out)()
+
+	st, err := or.Stream(ctx, id, func(ev adifo.ProgressEvent) {
+		if !o.quiet {
+			fmt.Fprintf(out, "block %d/%d: %d vectors, %d detected\n",
+				ev.Block+1, ev.Blocks, ev.VectorsUsed, ev.Detected)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if err := terminalError(id, st); err != nil {
+		return err
+	}
+	res, err := or.Result(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "U %d vectors; |F_U| = %d of %d faults; ADImin=%d ADImax=%d ratio=%.2f\n",
+		res.Vectors, res.NumDetected, res.Faults, res.ADIMin, res.ADIMax, res.Ratio)
+	fmt.Fprintf(out, "order %s:\n", res.Order)
+	for pos, fi := range res.Perm {
+		if o.limit > 0 && pos >= o.limit {
+			fmt.Fprintf(out, "... (%d more)\n", len(res.Perm)-pos)
+			break
+		}
+		// The server is trusted but not blindly: a malformed result
+		// (perm index beyond the ADI or name arrays) degrades to an
+		// error, not a panic.
+		if fi < 0 || fi >= len(res.ADI) {
+			return fmt.Errorf("malformed order result: perm entry f%d outside ADI array of %d", fi, len(res.ADI))
+		}
+		name := ""
+		if fi < len(res.Names) {
+			name = res.Names[fi]
+		}
+		fmt.Fprintf(out, "%4d: f%-4d ADI=%-5d %s\n", pos, fi, res.ADI[fi], name)
+	}
+	return nil
 }
 
 // vectorSet builds the vector set U for the adi and order verbs: the

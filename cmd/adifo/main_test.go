@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/eda-go/adifo"
@@ -102,5 +107,143 @@ func TestGradeBadMode(t *testing.T) {
 	o := options{circuit: "c17", mode: "bogus", n: 10, seed: 1, quiet: true}
 	if err := run("grade", o); err == nil {
 		t.Fatal("expected error for unknown mode")
+	}
+}
+
+// TestGenInProcess drives the gen verb end to end through the public
+// library path.
+func TestGenInProcess(t *testing.T) {
+	o := options{circuit: "c17", n: 96, seed: 7, order: "dynm", fillseed: adifo.DefaultFillSeed, limit: 3, quiet: true}
+	if err := run("gen", o); err != nil {
+		t.Fatalf("gen c17: %v", err)
+	}
+}
+
+// TestGenRemoteMatchesLocal drives the gen verb against a real HTTP
+// server and checks the printed test rows match the in-process path —
+// the CLI-level view of the bit-identical guarantee.
+func TestGenRemoteMatchesLocal(t *testing.T) {
+	g := adifo.NewLocalGrader(adifo.GraderConfig{})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	capture := func(o options) string {
+		t.Helper()
+		f, err := os.CreateTemp(t.TempDir(), "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := gen(o, f); err != nil {
+			t.Fatalf("gen: %v", err)
+		}
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	o := options{circuit: "c17", n: 96, seed: 7, order: "0dynm", fillseed: 11, quiet: true}
+	local := capture(o)
+	o.servers = serverList{srv.URL}
+	remote := capture(o)
+
+	pick := func(out string) []string {
+		var rows []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "t") || strings.HasPrefix(line, "tests ") {
+				rows = append(rows, line)
+			}
+		}
+		return rows
+	}
+	lr, rr := pick(local), pick(remote)
+	if len(lr) == 0 || !reflect.DeepEqual(lr, rr) {
+		t.Fatalf("local and remote gen output diverge:\nlocal:\n%s\nremote:\n%s", local, remote)
+	}
+}
+
+// TestOrderRemote drives the order verb against a real HTTP server.
+func TestOrderRemote(t *testing.T) {
+	g := adifo.NewLocalGrader(adifo.GraderConfig{})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	o := options{circuit: "lion", exhaustive: true, order: "dynm", limit: 5, quiet: true,
+		servers: serverList{srv.URL}}
+	if err := run("order", o); err != nil {
+		t.Fatalf("order -server: %v", err)
+	}
+}
+
+// TestGenRejectsCluster: gen must refuse multiple -server flags with
+// an explanation instead of sharding an unshardable workload.
+func TestGenRejectsCluster(t *testing.T) {
+	o := options{circuit: "c17", n: 16, seed: 1, order: "dynm", quiet: true,
+		servers: serverList{"http://a", "http://b"}}
+	err := run("gen", o)
+	if err == nil || !strings.Contains(err.Error(), "single -server") {
+		t.Fatalf("gen with two servers = %v, want single-server error", err)
+	}
+}
+
+// fakeTerminalServer is a minimal v1 server whose only job ends in
+// the given terminal state: it accepts a submit, then streams one
+// final status line.
+func fakeTerminalServer(t *testing.T, state, errMsg string) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintln(w, `{"id":"j1"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/j1/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		json.NewEncoder(w).Encode(adifo.JobStatus{ID: "j1", Kind: adifo.KindGrade, State: state, Error: errMsg})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestGradeCancelledVsFailedExit: a job that ends cancelled and one
+// that ends failed must both exit non-zero, with distinct messages —
+// a cancelled run is not a crashed one.
+func TestGradeCancelledVsFailedExit(t *testing.T) {
+	cancelled := fakeTerminalServer(t, adifo.JobCancelled, "")
+	failed := fakeTerminalServer(t, adifo.JobFailed, "boom")
+
+	o := options{circuit: "c17", mode: "nodrop", n: 16, seed: 1, quiet: true}
+	o.servers = serverList{cancelled.URL}
+	errCancelled := run("grade", o)
+	if errCancelled == nil {
+		t.Fatal("grade of a cancelled job returned success")
+	}
+	o.servers = serverList{failed.URL}
+	errFailed := run("grade", o)
+	if errFailed == nil {
+		t.Fatal("grade of a failed job returned success")
+	}
+
+	if !strings.Contains(errCancelled.Error(), "cancelled") {
+		t.Errorf("cancelled message %q does not say cancelled", errCancelled)
+	}
+	if !strings.Contains(errFailed.Error(), "failed: boom") {
+		t.Errorf("failed message %q does not carry the failure", errFailed)
+	}
+	if errCancelled.Error() == errFailed.Error() {
+		t.Errorf("cancelled and failed collapse to one message: %q", errCancelled)
+	}
+}
+
+// TestTerminalError pins the mapping for all terminal states.
+func TestTerminalError(t *testing.T) {
+	if err := terminalError("j1", adifo.JobStatus{State: adifo.JobDone}); err != nil {
+		t.Fatalf("done: %v", err)
+	}
+	c := terminalError("j1", adifo.JobStatus{State: adifo.JobCancelled})
+	f := terminalError("j1", adifo.JobStatus{State: adifo.JobFailed, Error: "x"})
+	if c == nil || f == nil || c.Error() == f.Error() {
+		t.Fatalf("cancelled %v and failed %v must be distinct non-nil errors", c, f)
 	}
 }

@@ -1,12 +1,22 @@
-// Command adifod serves the concurrent fault-grading API over
+// Command adifod serves the concurrent multi-kind job API over
 // HTTP+JSON: POST a circuit (named or inline .bench) plus a pattern
-// spec to /v1/jobs, poll or stream the job, cancel it with DELETE
-// /v1/jobs/{id}, fetch per-fault detection sets and ndet counts from
-// /v1/jobs/{id}/result. Parsed circuits, collapsed fault lists and
-// good-machine simulations are cached with LRU eviction, so repeat
-// submissions of the same circuit skip straight to fault grading;
+// spec to /v1/jobs — kind "grade" (fault grading, the default for
+// kind-less specs), "atpg" (ADI-ordered test generation) or
+// "adi_order" (the fault order alone) — poll or stream the job,
+// cancel it with DELETE /v1/jobs/{id}, fetch the kind-specific result
+// from /v1/jobs/{id}/result. Parsed circuits, collapsed fault lists
+// and good-machine simulations are cached with LRU eviction and
+// shared across kinds, so an adi_order request after a nodrop grade
+// of the same (circuit, patterns) pair skips the simulation entirely;
 // /v1/stats exposes the cache counters. Every non-2xx response is the
-// v1 error envelope {"error": {"code": ..., "message": ...}}.
+// v1 error envelope {"error": {"code": ..., "message": ...}};
+// submissions of unknown kinds — or kinds disabled with -kinds — get
+// the typed "unsupported_kind" code.
+//
+// -kinds dedicates the server to a subset of workloads, e.g.
+// `-kinds grade` for backends behind a cluster coordinator (which
+// fault-shards grade jobs only) or `-kinds atpg,adi_order` for an
+// ordering/generation tier.
 //
 // The server is the public adifo.LocalGrader behind its Handler; a Go
 // program embedding the engine gets the identical API from
@@ -23,7 +33,7 @@
 //
 // Usage:
 //
-//	adifod -addr :8417 -jobs 4 -workers 8 -grace 10s
+//	adifod -addr :8417 -jobs 4 -workers 8 -grace 10s -kinds grade,atpg
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,15 +55,21 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":8417", "listen address")
-		jobs         = flag.Int("jobs", 0, "max concurrent grading jobs (0 = default)")
+		jobs         = flag.Int("jobs", 0, "max concurrent jobs (0 = default)")
 		workers      = flag.Int("workers", 0, "shard workers per job (0 = GOMAXPROCS)")
 		circuitCache = flag.Int("circuit-cache", 0, "circuit registry LRU capacity (0 = default)")
 		goodCache    = flag.Int("good-cache", 0, "good-machine cache LRU capacity (0 = default)")
 		grace        = flag.Duration("grace", 10*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
+		kindsFlag    = flag.String("kinds", "", "comma-separated job kinds to serve (grade,atpg,adi_order; empty = all)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "adifod: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+	kinds, err := parseKinds(*kindsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adifod: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -61,6 +78,7 @@ func main() {
 		MaxConcurrentJobs: *jobs,
 		CircuitCache:      *circuitCache,
 		GoodCache:         *goodCache,
+		Kinds:             kinds,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -68,14 +86,41 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("adifod listening on %s", ln.Addr())
+	served := "all job kinds"
+	if len(kinds) > 0 {
+		served = "kinds " + strings.Join(kinds, ", ")
+	}
+	log.Printf("adifod listening on %s, serving %s", ln.Addr(), served)
 	if err := serve(ctx, ln, g, *grace); err != nil {
 		log.Fatalf("adifod: %v", err)
 	}
 	log.Printf("adifod: drained, bye")
 }
 
-// serve runs the grading API on ln until ctx is cancelled (the signal
+// parseKinds splits the -kinds flag into the engine's kind names,
+// validating each against the registry so a typo fails at startup
+// instead of silently rejecting every job of the intended kind.
+func parseKinds(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, k := range adifo.JobKindNames() {
+		known[k] = true
+	}
+	var kinds []string
+	for _, k := range strings.Split(s, ",") {
+		k = strings.TrimSpace(k)
+		if !known[k] {
+			return nil, fmt.Errorf("unknown job kind %q in -kinds (want a subset of %s)",
+				k, strings.Join(adifo.JobKindNames(), ","))
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+// serve runs the job API on ln until ctx is cancelled (the signal
 // arrived), then shuts down gracefully: the engine drains first —
 // Submit starts rejecting with the typed 503 envelope, queued jobs
 // cancel immediately, running jobs cancel at their next block barrier,

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -135,5 +136,46 @@ func TestServeStopsOnListenerError(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("serve did not notice the dead listener")
+	}
+}
+
+// TestParseKinds validates the -kinds flag grammar and that a
+// restricted server actually rejects foreign kinds with the typed
+// envelope while serving its own.
+func TestParseKinds(t *testing.T) {
+	if ks, err := parseKinds(""); err != nil || ks != nil {
+		t.Fatalf("parseKinds(\"\") = %v, %v", ks, err)
+	}
+	if ks, err := parseKinds("grade, atpg"); err != nil || len(ks) != 2 {
+		t.Fatalf("parseKinds(\"grade, atpg\") = %v, %v", ks, err)
+	}
+	if _, err := parseKinds("grade,bogus"); err == nil {
+		t.Fatal("parseKinds accepted an unknown kind")
+	}
+
+	g := adifo.NewLocalGrader(adifo.GraderConfig{Kinds: []string{adifo.KindADIOrder}})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	ctx := context.Background()
+	_, err := adifo.NewRemoteGrader(srv.URL, nil).Submit(ctx, adifo.JobSpec{
+		Circuit: "c17", Mode: "drop",
+		Patterns: adifo.PatternSpec{Random: &adifo.RandomSpec{N: 16, Seed: 1}},
+	})
+	if !errors.Is(err, adifo.ErrUnsupportedKind) {
+		t.Fatalf("grade submit to adi_order-only server = %v, want ErrUnsupportedKind", err)
+	}
+	or := adifo.NewRemoteOrderer(srv.URL, nil)
+	id, err := or.Submit(ctx, adifo.JobSpec{
+		Circuit:  "c17",
+		Patterns: adifo.PatternSpec{Random: &adifo.RandomSpec{N: 64, Seed: 1}},
+		Order:    &adifo.OrderSpec{Kind: "decr"},
+	})
+	if err != nil {
+		t.Fatalf("adi_order submit on its own server: %v", err)
+	}
+	if st, err := or.Stream(ctx, id, nil); err != nil || st.State != adifo.JobDone {
+		t.Fatalf("adi_order job ended %v, %v", st.State, err)
 	}
 }

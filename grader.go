@@ -131,8 +131,14 @@ func NewLocalGrader(cfg GraderConfig) *LocalGrader {
 // listens on and RemoteGrader talks to.
 func (g *LocalGrader) Handler() http.Handler { return g.svc.Handler() }
 
-// Submit implements Grader.
+// Submit implements Grader. Graders run grade jobs; specs of other
+// kinds are rejected here rather than failing later at Result (use
+// NewRemoteGenerator for atpg, NewRemoteOrderer for adi_order — the
+// engine behind Handler serves all kinds).
 func (g *LocalGrader) Submit(_ context.Context, spec JobSpec) (string, error) {
+	if err := checkKind(&spec, KindGrade); err != nil {
+		return "", err
+	}
 	return g.svc.Submit(spec)
 }
 
@@ -214,8 +220,13 @@ func NewRemoteGrader(base string, httpClient *http.Client) *RemoteGrader {
 	return &RemoteGrader{cl: client.New(base, httpClient)}
 }
 
-// Submit implements Grader.
+// Submit implements Grader. Like LocalGrader, it submits grade jobs
+// only; use NewRemoteGenerator / NewRemoteOrderer for the other
+// kinds.
 func (g *RemoteGrader) Submit(ctx context.Context, spec JobSpec) (string, error) {
+	if err := checkKind(&spec, KindGrade); err != nil {
+		return "", err
+	}
 	return g.cl.Submit(ctx, spec)
 }
 

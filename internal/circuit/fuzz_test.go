@@ -1,0 +1,71 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench throws arbitrary netlist text at the .bench parser.
+// The parser is the service's trust boundary — inline bench text
+// arrives from the network — so it must never panic, and every
+// netlist it accepts must behave like a well-formed circuit:
+// deterministic fingerprint, consistent structure, and a render that
+// parses back.
+func FuzzParseBench(f *testing.F) {
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+	f.Add("# comment\nINPUT(a)\nOUTPUT(q)\nq = NOT(a)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(s)\ns = DFF(d)\nd = XOR(a, b)\n")
+	f.Add("INPUT(x)\nOUTPUT(y)\ny = BUF(x)\n")
+	f.Add("INPUT(a)\ny = NAND(a, a)\nOUTPUT(y)\n") // forward declaration order
+	f.Add("OUTPUT(y)\ny = OR(a)\n")                // undefined signal: must error
+	f.Add("y = AND(y)\n")                          // self-loop: must error
+	f.Add("INPUT(a)\nINPUT(a)\n")                  // duplicate input
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseBenchString("fuzz", src)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("nil circuit with nil error")
+		}
+		// Fingerprinting and structural statistics must hold on
+		// anything the parser accepts.
+		if c.Fingerprint() != c.Fingerprint() {
+			t.Fatal("fingerprint is not deterministic")
+		}
+		st := c.ComputeStats()
+		if st.Inputs != c.NumInputs() || st.Gates < 0 || st.Levels < 0 {
+			t.Fatalf("inconsistent stats %+v for %d inputs", st, c.NumInputs())
+		}
+		// An accepted netlist renders back to text the parser accepts
+		// again, with identical structure — the invariant the service
+		// relies on when echoing circuits between processes.
+		c2, err := ParseBenchString("fuzz2", BenchString(c))
+		if err != nil {
+			t.Fatalf("re-parsing rendered netlist failed: %v\nrendered:\n%s", err, BenchString(c))
+		}
+		if c2.NumInputs() != c.NumInputs() || c2.NumOutputs() != c.NumOutputs() || c2.NumGates() != c.NumGates() {
+			t.Fatalf("round trip changed structure: (%d,%d,%d) -> (%d,%d,%d)",
+				c.NumInputs(), c.NumOutputs(), c.NumGates(),
+				c2.NumInputs(), c2.NumOutputs(), c2.NumGates())
+		}
+	})
+}
+
+// FuzzParseBenchLines narrows the search to line-structured inputs so
+// the fuzzer spends its budget inside the interesting states (gate
+// declarations, DFF conversion) instead of on the comment stripper.
+func FuzzParseBenchLines(f *testing.F) {
+	f.Add("INPUT(a)", "OUTPUT(y)", "y = NOR(a, a)")
+	f.Add("INPUT(p)", "q = DFF(p)", "OUTPUT(q)")
+	f.Add("INPUT(a)", "INPUT(b)", "c = XNOR(a, b)")
+	f.Fuzz(func(t *testing.T, l1, l2, l3 string) {
+		src := strings.Join([]string{l1, l2, l3}, "\n")
+		c, err := ParseBenchString("fuzz", src)
+		if err == nil && c == nil {
+			t.Fatal("nil circuit with nil error")
+		}
+	})
+}

@@ -259,6 +259,15 @@ func (co *Coordinator) healthyBackends(ctx context.Context) []*backend {
 // they do on a direct service submit. The returned id names the
 // cluster job; the sub-jobs stream and merge asynchronously.
 func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string, error) {
+	if kind := service.NormalizeKind(spec.Kind); kind != service.KindGrade {
+		// Explicit, not silently degraded: fault sharding is what the
+		// cluster sells, and only grade jobs have the per-fault
+		// independence it needs (atpg and the dynamic orders are
+		// sequential over shared ndet/drop state). Other kinds belong
+		// on a single backend via the remote generator/orderer.
+		return "", fmt.Errorf("cluster: %w %q: fault sharding applies only to grade jobs; submit %s jobs to a single backend",
+			service.ErrUnsupportedKind, kind, kind)
+	}
 	if spec.FaultShard != nil {
 		return "", errors.New("cluster: spec must not carry fault_shard; the coordinator assigns shards")
 	}
@@ -280,7 +289,7 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 		id:     id,
 		spec:   spec,
 		merge:  newMerger(id, count),
-		status: service.JobStatus{ID: id, State: service.StateRunning},
+		status: service.JobStatus{ID: id, Kind: service.KindGrade, State: service.StateRunning},
 	}
 	for i := 0; i < count; i++ {
 		j.shards = append(j.shards, &shard{index: i, count: count, state: service.StateRunning})

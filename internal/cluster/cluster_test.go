@@ -553,3 +553,35 @@ func TestMergeResultsValidation(t *testing.T) {
 		t.Fatal("shardless result must fail")
 	}
 }
+
+// TestClusterRejectsNonGradeKinds: the coordinator shards grade jobs
+// only; atpg and adi_order specs (and unknown kinds) are rejected at
+// submit with the typed unsupported-kind error, not silently run on
+// one backend with wrong semantics.
+func TestClusterRejectsNonGradeKinds(t *testing.T) {
+	urls, _ := newBackends(t, 2)
+	co, err := New(urls, Options{Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	pat := service.PatternSpec{Random: &service.RandomSpec{N: 16, Seed: 1}}
+	for _, spec := range []service.JobSpec{
+		{Kind: service.KindAtpg, Circuit: "c17", Patterns: pat, Order: &service.OrderSpec{Kind: "dynm"}},
+		{Kind: service.KindADIOrder, Circuit: "c17", Patterns: pat, Order: &service.OrderSpec{Kind: "decr"}},
+		{Kind: "mystery", Circuit: "c17", Patterns: pat},
+	} {
+		if _, err := co.Submit(context.Background(), spec); !errors.Is(err, service.ErrUnsupportedKind) {
+			t.Errorf("Submit(kind %q) = %v, want ErrUnsupportedKind", spec.Kind, err)
+		}
+	}
+	// The kind-less default still shards as a grade job.
+	id, err := co.Submit(context.Background(), service.JobSpec{Circuit: "c17", Mode: "drop", Patterns: pat})
+	if err != nil {
+		t.Fatalf("kind-less grade submit: %v", err)
+	}
+	if st, err := co.Stream(context.Background(), id, nil); err != nil || st.State != service.StateDone {
+		t.Fatalf("cluster grade job ended %v, %v", st.State, err)
+	}
+}

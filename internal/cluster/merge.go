@@ -194,6 +194,7 @@ func MergeResults(id string, shards []*service.JobResult) (*service.JobResult, e
 	first := byIndex[0]
 	out := &service.JobResult{
 		ID:          id,
+		Kind:        service.KindGrade,
 		Circuit:     first.Circuit,
 		Fingerprint: first.Fingerprint,
 		Mode:        first.Mode,

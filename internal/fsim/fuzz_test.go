@@ -1,0 +1,25 @@
+package fsim
+
+import "testing"
+
+// FuzzParseMode pins the mode name grammar: ParseMode accepts exactly
+// the three canonical names, and whatever it accepts round-trips
+// through Mode.String unchanged — the property the wire contract
+// relies on when a JobResult echoes the spec's mode back.
+func FuzzParseMode(f *testing.F) {
+	f.Add("nodrop")
+	f.Add("drop")
+	f.Add("ndetect")
+	f.Add("")
+	f.Add("NODROP")
+	f.Add("drop ")
+	f.Fuzz(func(t *testing.T, name string) {
+		m, err := ParseMode(name)
+		if err != nil {
+			return
+		}
+		if got := m.String(); got != name {
+			t.Fatalf("ParseMode(%q) accepted but String() = %q; accepted names must be canonical", name, got)
+		}
+	})
+}

@@ -1,8 +1,10 @@
-// Package client is the Go client of the adifod fault-grading
-// service: it speaks the HTTP+JSON job API of internal/service and is
-// what the `adifo grade` verb uses to talk to a running server. All
-// wire types are shared with the service package, so a client-side
-// result is structurally identical to a direct library run.
+// Package client is the Go client of the adifod job service: it
+// speaks the HTTP+JSON job API of internal/service — grade, atpg and
+// adi_order kinds alike — and is what the `adifo grade`, `adifo gen
+// -server` and `adifo order -server` verbs use to talk to a running
+// server. All wire types are shared with the service package, so a
+// client-side result is structurally identical to a direct library
+// run.
 package client
 
 import (
@@ -115,13 +117,55 @@ func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
 	return out, err
 }
 
-// Result fetches the outcome of a finished job.
+// Result fetches the outcome of a finished grade job. The result
+// endpoint serves kind-specific payloads; use ResultAtpg and
+// ResultOrder for the other kinds (a mismatched call is detected by
+// the payload's kind field rather than silently mis-decoded).
 func (c *Client) Result(ctx context.Context, id string) (*service.JobResult, error) {
 	var res service.JobResult
 	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
 		return nil, err
 	}
+	if err := checkKind(id, service.KindGrade, res.Kind); err != nil {
+		return nil, err
+	}
 	return &res, nil
+}
+
+// ResultAtpg fetches the outcome of a finished atpg job.
+func (c *Client) ResultAtpg(ctx context.Context, id string) (*service.AtpgResult, error) {
+	var res service.AtpgResult
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	if err := checkKind(id, service.KindAtpg, res.Kind); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// ResultOrder fetches the outcome of a finished adi_order job.
+func (c *Client) ResultOrder(ctx context.Context, id string) (*service.OrderResult, error) {
+	var res service.OrderResult
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	if err := checkKind(id, service.KindADIOrder, res.Kind); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// checkKind guards a typed result decode against a job of another
+// kind: JSON decoding ignores unknown fields, so without the check a
+// mismatched fetch would return a zeroed struct instead of an error.
+// A pre-kind server omits the field; those servers only ever grade,
+// so the empty kind normalizes to grade.
+func checkKind(id, want, got string) error {
+	if service.NormalizeKind(got) != want {
+		return fmt.Errorf("client: job %s is a %s job, not %s", id, service.NormalizeKind(got), want)
+	}
+	return nil
 }
 
 // Stats fetches the service counters (including the registry

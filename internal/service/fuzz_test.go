@@ -1,0 +1,96 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzJobSpecValidate decodes arbitrary bytes exactly the way the
+// submit handler does (strict JSON into a JobSpec) and runs the full
+// submit-time validation. The engine sits behind a network boundary:
+// whatever a peer sends, validation must never panic, and any spec it
+// accepts must resolve to a registered kind.
+func FuzzJobSpecValidate(f *testing.F) {
+	f.Add([]byte(`{"circuit":"c17","mode":"nodrop","patterns":{"random":{"n":64,"seed":1}}}`))
+	f.Add([]byte(`{"kind":"grade","circuit":"c17","mode":"ndetect","n":3,"patterns":{"exhaustive":true}}`))
+	f.Add([]byte(`{"kind":"atpg","circuit":"lion","patterns":{"random":{"n":96,"seed":7}},"order":{"kind":"dynm"},"gen":{"fill_seed":9}}`))
+	f.Add([]byte(`{"kind":"adi_order","bench":"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n","patterns":{"exhaustive":true},"order":{"kind":"0decr"}}`))
+	f.Add([]byte(`{"kind":"grade","circuit":"c17","mode":"drop","patterns":{"vectors":["01011"]},"fault_shard":{"index":1,"count":3}}`))
+	f.Add([]byte(`{"kind":"nope"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"circuit":"c17","patterns":{"random":{"n":-1,"seed":0}}}`))
+
+	s := New(Config{SimWorkers: 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec JobSpec
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if dec.Decode(&spec) != nil {
+			return
+		}
+		k, err := s.validateSpec(spec)
+		if err != nil {
+			if k != nil {
+				t.Fatalf("validateSpec returned both a kind and %v", err)
+			}
+			return
+		}
+		name := NormalizeKind(spec.Kind)
+		if jobKinds[name] != k {
+			t.Fatalf("accepted spec resolved kind %q to the wrong registry entry", name)
+		}
+	})
+}
+
+// FuzzErrorEnvelope decodes arbitrary bytes as the v1 error envelope
+// the way the client does and checks the decoded error behaves: a
+// non-empty code yields a printable error whose sentinel mapping is
+// consistent, and the envelope survives a marshal/unmarshal round
+// trip — the property that keeps client-side errors.Is working across
+// the wire.
+func FuzzErrorEnvelope(f *testing.F) {
+	f.Add([]byte(`{"error":{"code":"not_found","message":"service: job not found"}}`))
+	f.Add([]byte(`{"error":{"code":"unsupported_kind","message":"service: unsupported job kind \"x\""}}`))
+	f.Add([]byte(`{"error":{"code":"unavailable","message":"draining"}}`))
+	f.Add([]byte(`{"error":{}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+
+	sentinels := map[string]error{
+		CodeNotFound:        ErrNotFound,
+		CodeNotDone:         ErrNotDone,
+		CodeCancelled:       ErrCancelled,
+		CodeFinished:        ErrFinished,
+		CodeUnavailable:     ErrDraining,
+		CodeUnsupportedKind: ErrUnsupportedKind,
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var env errorEnvelope
+		if json.Unmarshal(data, &env) != nil {
+			return
+		}
+		apiErr := &env.Err
+		if apiErr.Code == "" {
+			return
+		}
+		if apiErr.Error() == "" {
+			t.Fatal("decoded APIError prints empty")
+		}
+		for code, sentinel := range sentinels {
+			if got, want := errors.Is(apiErr, sentinel), apiErr.Code == code; got != want {
+				t.Fatalf("code %q: errors.Is(%v) = %v, want %v", apiErr.Code, sentinel, got, want)
+			}
+		}
+		out, err := json.Marshal(errorEnvelope{Err: *apiErr})
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		var env2 errorEnvelope
+		if err := json.Unmarshal(out, &env2); err != nil || env2 != env {
+			t.Fatalf("round trip changed envelope: %+v -> %+v (%v)", env, env2, err)
+		}
+	})
+}

@@ -9,13 +9,14 @@ import (
 // Error codes of the v1 wire contract. Every non-2xx response carries
 // exactly one of them in the error envelope.
 const (
-	CodeInvalidRequest = "invalid_request" // malformed JSON or rejected spec
-	CodeNotFound       = "not_found"       // unknown job id
-	CodeNotDone        = "not_done"        // result requested before the job finished
-	CodeCancelled      = "cancelled"       // job was cancelled, it has no result
-	CodeFinished       = "finished"        // cancel requested after the job finished
-	CodeJobFailed      = "job_failed"      // the job itself failed
-	CodeUnavailable    = "unavailable"     // server draining, not accepting jobs
+	CodeInvalidRequest  = "invalid_request"  // malformed JSON or rejected spec
+	CodeNotFound        = "not_found"        // unknown job id
+	CodeNotDone         = "not_done"         // result requested before the job finished
+	CodeCancelled       = "cancelled"        // job was cancelled, it has no result
+	CodeFinished        = "finished"         // cancel requested after the job finished
+	CodeJobFailed       = "job_failed"       // the job itself failed
+	CodeUnavailable     = "unavailable"      // server draining, not accepting jobs
+	CodeUnsupportedKind = "unsupported_kind" // job kind unknown or disabled on this server
 )
 
 // APIError is the typed error of the v1 wire contract. Handlers send
@@ -46,6 +47,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == CodeFinished
 	case ErrDraining:
 		return e.Code == CodeUnavailable
+	case ErrUnsupportedKind:
+		return e.Code == CodeUnsupportedKind
 	}
 	return false
 }
@@ -58,15 +61,20 @@ type errorEnvelope struct {
 // Handler returns the HTTP+JSON API of the service, the surface
 // cmd/adifod listens on and the client package talks to:
 //
-//	POST   /v1/jobs             submit a JobSpec, returns {"id": ...}
+//	POST   /v1/jobs             submit a JobSpec (kind grade, atpg or
+//	                            adi_order; empty = grade), returns
+//	                            {"id": ...}
 //	GET    /v1/jobs             list job statuses
 //	GET    /v1/jobs/{id}        poll one job's status
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /v1/jobs/{id}/result fetch a finished job's JobResult
+//	GET    /v1/jobs/{id}/result fetch a finished job's kind-specific
+//	                            result (JobResult, AtpgResult or
+//	                            OrderResult)
 //	GET    /v1/jobs/{id}/stream newline-delimited JSON ProgressEvents,
-//	                            one per 64-pattern block, until the job
-//	                            reaches a terminal state (the last line
-//	                            is the final JobStatus)
+//	                            one per 64-pattern block (plus one per
+//	                            ATPG target for atpg jobs), until the
+//	                            job reaches a terminal state (the last
+//	                            line is the final JobStatus)
 //	GET    /v1/stats            service and registry cache counters
 //	GET    /healthz             liveness probe
 //
@@ -116,6 +124,10 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
 		return
 	}
+	if errors.Is(err, ErrUnsupportedKind) {
+		s.writeError(w, http.StatusBadRequest, CodeUnsupportedKind, err)
+		return
+	}
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
@@ -154,9 +166,13 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleResult serves the kind-specific result payload of a finished
+// job: a JobResult for grade jobs, an AtpgResult for atpg, an
+// OrderResult for adi_order. Clients tell them apart by the payload's
+// kind field (or the job status they already hold).
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	res, err := s.Result(id)
+	res, err := s.ResultAny(id)
 	switch {
 	case err == nil:
 		s.writeJSON(w, http.StatusOK, res)

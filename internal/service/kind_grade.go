@@ -1,0 +1,147 @@
+package service
+
+import (
+	"fmt"
+
+	"github.com/eda-go/adifo/internal/fault"
+	"github.com/eda-go/adifo/internal/fsim"
+)
+
+// gradeKind is the original fault-grading workload: batch simulation
+// of the job's vector set under a dropping policy, optionally
+// restricted to one fault shard of the collapsed universe.
+type gradeKind struct{}
+
+// shardable: dropping decisions are per-fault, so disjoint index
+// ranges have no cross-fault control dependence and shard results
+// merge bit-identically (the cluster coordinator relies on this).
+func (gradeKind) shardable() bool { return true }
+
+func (gradeKind) validate(spec JobSpec) error {
+	if spec.Order != nil || spec.Gen != nil {
+		return fmt.Errorf("order and gen specs apply only to atpg and adi_order jobs")
+	}
+	if spec.Mode == "" {
+		// No silent default on the wire: a request must say what it
+		// wants. Library callers get the NoDrop default from the adifo
+		// facade's options instead.
+		return fmt.Errorf("mode is required (nodrop, drop or ndetect)")
+	}
+	mode, err := fsim.ParseMode(spec.Mode)
+	if err != nil {
+		return err
+	}
+	if mode == fsim.NDetect && spec.N <= 0 {
+		return fmt.Errorf("ndetect mode requires n > 0")
+	}
+	if mode != fsim.NDetect && spec.N != 0 {
+		return fmt.Errorf("n is only meaningful in ndetect mode")
+	}
+	if fs := spec.FaultShard; fs != nil {
+		if fs.Count < 1 {
+			return fmt.Errorf("fault_shard count %d must be >= 1", fs.Count)
+		}
+		if fs.Index < 0 || fs.Index >= fs.Count {
+			return fmt.Errorf("fault_shard index %d out of range [0, %d)", fs.Index, fs.Count)
+		}
+		if spec.StopAtCoverage > 0 {
+			// The cut-off is defined on global coverage, which a shard
+			// cannot observe; allowing it would silently break the
+			// bit-identical merge guarantee.
+			return fmt.Errorf("stop_at_coverage cannot be combined with fault_shard")
+		}
+	}
+	return nil
+}
+
+func (gradeKind) run(s *Service, j *job) (any, error) {
+	entry, ps, patternKey, err := s.prepare(j)
+	if err != nil {
+		return nil, err
+	}
+	// Re-derived, not re-validated: validate already proved it parses.
+	mode, _ := fsim.ParseMode(j.spec.Mode)
+	opts := fsim.Options{Mode: mode, N: j.spec.N, StopAtCoverage: j.spec.StopAtCoverage}
+
+	// A shard job grades only its index range of the collapsed
+	// universe, against the full pattern set. The sub-list shares the
+	// cached entry's backing array read-only; shardLo maps shard-local
+	// fault indices back to global ones in the result.
+	faults, shardLo := entry.Faults, 0
+	if fs := j.spec.FaultShard; fs != nil {
+		lo, hi := ShardRange(entry.Faults.Len(), fs.Index, fs.Count)
+		shardLo = lo
+		faults = &fault.List{Circuit: entry.Circuit, Faults: entry.Faults.Faults[lo:hi]}
+	}
+
+	j.mu.Lock()
+	j.status.Circuit = entry.Circuit.Name
+	j.status.Faults = faults.Len()
+	j.status.Vectors = ps.Len()
+	j.status.Blocks = ps.Blocks()
+	j.status.Active = faults.Len()
+	j.mu.Unlock()
+
+	// Early-stopping jobs (drop mode, coverage cut-off) often touch only
+	// a prefix of the blocks; precomputing the full good simulation for
+	// them would do strictly more work than the simulator's lazy
+	// per-block path, so the cache is reserved for runs that visit
+	// every block.
+	var good *fsim.Good
+	if opts.Mode != fsim.Drop && opts.StopAtCoverage == 0 {
+		good = s.reg.Good(entry, patternKey, ps)
+	}
+	res, err := fsim.RunParallelCtx(j.ctx, faults, ps, fsim.ParallelOptions{
+		Options:  opts,
+		Workers:  s.jobWorkers(j),
+		Good:     good,
+		Progress: func(p fsim.Progress) { j.publish(p) },
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	result := buildResult(j, entry, faults, shardLo, ps.Len(), res)
+	j.mu.Lock()
+	j.status.VectorsUsed = res.VectorsUsed
+	j.status.Detected = result.Detected
+	j.mu.Unlock()
+	return result, nil
+}
+
+// buildResult assembles the wire result. faults is the graded list (a
+// shard sub-list of entry.Faults for shard jobs) and shardLo maps its
+// local indices back to global collapsed-universe indices, so FaultResult.F
+// is always global and shard results concatenate directly.
+func buildResult(j *job, entry *CircuitEntry, faults *fault.List, shardLo, vectors int, res *fsim.Result) *JobResult {
+	c := entry.Circuit
+	out := &JobResult{
+		ID:          j.id,
+		Kind:        KindGrade,
+		Circuit:     c.Name,
+		Fingerprint: fmt.Sprintf("%016x", entry.Fingerprint),
+		Mode:        j.spec.Mode,
+		Faults:      faults.Len(),
+		TotalFaults: entry.Faults.Len(),
+		FaultShard:  j.spec.FaultShard,
+		Vectors:     vectors,
+		VectorsUsed: res.VectorsUsed,
+		Detected:    res.DetectedCount(),
+		Coverage:    res.Coverage(),
+		Ndet:        append([]int(nil), res.Ndet...),
+		PerFault:    make([]FaultResult, faults.Len()),
+	}
+	for fi, f := range faults.Faults {
+		fr := FaultResult{
+			F:        shardLo + fi,
+			Name:     f.Name(c),
+			DetCount: res.DetCount[fi],
+			FirstDet: res.FirstDet[fi],
+		}
+		if res.Det != nil {
+			fr.Det = res.Det[fi].Indices()
+		}
+		out.PerFault[fi] = fr
+	}
+	return out
+}

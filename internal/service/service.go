@@ -1,19 +1,25 @@
-// Package service turns the batch fault-simulation library into a
-// long-running, concurrent fault-grading engine: a registry caches the
-// artifacts that are expensive to derive and safe to share (parsed
-// circuits, collapsed fault lists, good-machine simulations), a
-// bounded pool runs grading jobs through the sharded simulator
-// (fsim.RunParallelCtx), and a small job API — submit, status,
-// result, cancel, per-block progress stream — is exposed over HTTP by
-// cmd/adifod and consumed by the client package. Every job carries a
-// cancellable context: Cancel aborts a queued job immediately and a
-// running job at its next 64-pattern block barrier.
+// Package service turns the batch library into a long-running,
+// concurrent multi-kind job engine: a registry caches the artifacts
+// that are expensive to derive and safe to share (parsed circuits,
+// collapsed fault lists, good-machine simulations), a bounded pool
+// runs jobs, and a small job API — submit, status, result, cancel,
+// streaming progress — is exposed over HTTP by cmd/adifod and consumed
+// by the client package. Every job carries a cancellable context:
+// Cancel aborts a queued job immediately and a running job at its next
+// barrier (a 64-pattern simulation block, or one ATPG target).
+//
+// Jobs come in kinds, dispatched through the jobKind registry: grade
+// (fault grading through the sharded simulator, the original
+// workload), atpg (ADI-ordered test generation) and adi_order (the
+// fault order alone). All kinds share the queue, worker pool,
+// cancellation, progress streaming and LRU registry machinery; each
+// kind supplies validate/run/result hooks.
 //
 // Everything a job shares is read-only: circuits and fault lists are
 // immutable after construction, good values are written once under the
 // registry lock, and per-job drop state lives in a private
 // fault.ActiveSet inside the simulator. Results are therefore
-// bit-identical to a direct library run of fsim.Run.
+// bit-identical to a direct library run with equal inputs.
 package service
 
 import (
@@ -25,10 +31,10 @@ import (
 	"runtime"
 	"sync"
 
-	"github.com/eda-go/adifo/internal/fault"
 	"github.com/eda-go/adifo/internal/fsim"
 	"github.com/eda-go/adifo/internal/logic"
 	"github.com/eda-go/adifo/internal/prng"
+	"github.com/eda-go/adifo/internal/tgen"
 )
 
 // Config sizes the service; zero values select sensible defaults.
@@ -48,28 +54,48 @@ type Config struct {
 	// finished jobs are evicted first, queued and running jobs are
 	// never evicted (default 1024).
 	MaxRetainedJobs int
+	// Kinds restricts which job kinds this service accepts (nil or
+	// empty = all). Submissions of other kinds are rejected with
+	// ErrUnsupportedKind, so a deployment can dedicate servers to one
+	// workload (e.g. grade-only backends behind a cluster
+	// coordinator).
+	Kinds []string
 	// Logf receives diagnostics the service cannot surface to any
 	// caller, such as response-encoding failures after the status line
 	// was sent (default log.Printf).
 	Logf func(format string, args ...any)
 }
 
-// JobSpec is a fault-grading request. Exactly one of Circuit (a named
-// embedded or synthetic circuit) and Bench (an inline .bench netlist)
-// must be set.
+// JobSpec is a job request. Exactly one of Circuit (a named embedded
+// or synthetic circuit) and Bench (an inline .bench netlist) must be
+// set. Kind selects the workload; the grade-specific fields (Mode, N,
+// StopAtCoverage, FaultShard) and the order/gen sub-specs are only
+// meaningful for their kinds and rejected elsewhere.
 type JobSpec struct {
+	// Kind is the job kind: "grade", "atpg" or "adi_order". Empty
+	// means grade — the only kind the v1 wire knew originally, so old
+	// specs keep their meaning unchanged.
+	Kind    string `json:"kind,omitempty"`
 	Circuit string `json:"circuit,omitempty"`
 	Bench   string `json:"bench,omitempty"`
 	// Name labels an inline netlist (cosmetic; named circuits keep
 	// their own name).
-	Name     string      `json:"name,omitempty"`
+	Name string `json:"name,omitempty"`
+	// Patterns is the vector set: the graded vectors for grade jobs,
+	// the ADI vector set U for atpg and adi_order jobs.
 	Patterns PatternSpec `json:"patterns"`
 	// Mode is the dropping policy: "nodrop", "drop" or "ndetect".
-	// Required — the wire contract has no silent default; requests
-	// with an empty mode are rejected.
+	// Required on grade jobs — the wire contract has no silent
+	// default; requests with an empty mode are rejected. Forbidden on
+	// other kinds, which simulate without dropping by definition.
 	Mode string `json:"mode,omitempty"`
 	// N is the drop threshold for ndetect mode.
 	N int `json:"n,omitempty"`
+	// Order selects the fault order for atpg and adi_order jobs.
+	// Required on those kinds, forbidden on grade.
+	Order *OrderSpec `json:"order,omitempty"`
+	// Gen tunes an atpg job's generator; optional, atpg only.
+	Gen *GenSpec `json:"gen,omitempty"`
 	// Workers overrides the service's shard worker count for this job
 	// (0 = service default). Results never depend on it. Out-of-range
 	// values (negative, or above the service's SimWorkers) are rejected
@@ -84,7 +110,9 @@ type JobSpec struct {
 	// disjoint shards have no cross-fault control dependence and a set
 	// of shard results merges bit-identically to an unsharded run (the
 	// internal/cluster coordinator relies on this). Incompatible with
-	// StopAtCoverage, whose cut-off depends on global coverage.
+	// StopAtCoverage, whose cut-off depends on global coverage. Grade
+	// jobs only: the other kinds are sequential over shared state and
+	// reject it.
 	FaultShard *FaultShard `json:"fault_shard,omitempty"`
 }
 
@@ -137,9 +165,13 @@ func terminal(state string) bool {
 }
 
 // JobStatus is the pollable view of a job. Progress fields update at
-// every 64-pattern block barrier.
+// every barrier: a 64-pattern simulation block, or one ATPG target for
+// the generation phase of atpg jobs.
 type JobStatus struct {
-	ID      string `json:"id"`
+	ID string `json:"id"`
+	// Kind is the job's canonical kind name ("grade", "atpg",
+	// "adi_order").
+	Kind    string `json:"kind,omitempty"`
 	State   string `json:"state"`
 	Circuit string `json:"circuit,omitempty"`
 	Faults  int    `json:"faults,omitempty"`
@@ -151,6 +183,12 @@ type JobStatus struct {
 	Detected    int `json:"detected"`
 	Active      int `json:"active"`
 
+	// ATPG-phase progress of atpg jobs: targets attempted of the total
+	// order, and tests generated so far.
+	Targets     int `json:"targets,omitempty"`
+	TargetsDone int `json:"targets_done,omitempty"`
+	Tests       int `json:"tests,omitempty"`
+
 	// FaultShard echoes the spec's shard selector for shard jobs;
 	// Faults then counts only the shard's faults.
 	FaultShard *FaultShard `json:"fault_shard,omitempty"`
@@ -158,21 +196,34 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 }
 
-// ProgressEvent is one entry of a job's streaming progress feed.
+// ProgressEvent is one entry of a job's streaming progress feed: one
+// per 64-pattern simulation block (all kinds), and one per ATPG target
+// during the generation phase of atpg jobs (Target/Targets/Tests set,
+// block fields zero).
 type ProgressEvent struct {
 	JobID       string `json:"job_id"`
+	Kind        string `json:"kind,omitempty"`
 	State       string `json:"state"`
 	Block       int    `json:"block"`
 	Blocks      int    `json:"blocks"`
 	VectorsUsed int    `json:"vectors_used"`
 	Detected    int    `json:"detected"`
 	Active      int    `json:"active"`
+
+	// ATPG-phase fields: Target counts order positions attempted so
+	// far, Targets is the order length, Tests the vectors generated.
+	Target  int `json:"target,omitempty"`
+	Targets int `json:"targets,omitempty"`
+	Tests   int `json:"tests,omitempty"`
 }
 
-// JobResult is the full grading outcome, matching what a direct
-// library run returns.
+// JobResult is the full outcome of a grade job, matching what a
+// direct library run returns. The other kinds have their own result
+// payloads (AtpgResult, OrderResult), served by the same result
+// endpoint and told apart by the Kind field.
 type JobResult struct {
 	ID          string `json:"id"`
+	Kind        string `json:"kind,omitempty"`
 	Circuit     string `json:"circuit"`
 	Fingerprint string `json:"fingerprint"`
 	Mode        string `json:"mode"`
@@ -249,16 +300,19 @@ type Service struct {
 type job struct {
 	id   string
 	spec JobSpec
-	opts fsim.Options
+	kind jobKind
 
-	// ctx governs the job's simulation; cancel is invoked by
-	// Service.Cancel and aborts the run at the next block barrier.
+	// ctx governs the job's work; cancel is invoked by Service.Cancel
+	// and aborts the run at the next barrier (simulation block or ATPG
+	// target).
 	ctx    context.Context
 	cancel context.CancelFunc
 
 	mu     sync.Mutex
 	status JobStatus
-	result *JobResult
+	// result is the kind-specific payload: *JobResult for grade,
+	// *AtpgResult for atpg, *OrderResult for adi_order.
+	result any
 	subs   []chan ProgressEvent
 }
 
@@ -296,48 +350,59 @@ func (s *Service) Registry() *Registry { return s.reg }
 // logf forwards to the configured diagnostic logger.
 func (s *Service) logf(format string, args ...any) { s.cfg.Logf(format, args...) }
 
+// validateSpec performs everything Submit checks before enqueueing —
+// the common validation (circuit reference, kind dispatch, worker
+// bound, pattern spec, shardability) followed by the kind's own hook —
+// and resolves the spec's kind. It spawns nothing, so it is also the
+// surface the wire fuzz tests drive with arbitrary decoded specs.
+func (s *Service) validateSpec(spec JobSpec) (jobKind, error) {
+	if _, err := CircuitKey(spec); err != nil {
+		return nil, err
+	}
+	kindName := NormalizeKind(spec.Kind)
+	k, ok := jobKinds[kindName]
+	if !ok {
+		return nil, unsupportedKindError(kindName, KindNames())
+	}
+	if !s.kindAllowed(kindName) {
+		return nil, unsupportedKindError(kindName, s.cfg.Kinds)
+	}
+	if spec.Workers < 0 || spec.Workers > s.cfg.SimWorkers {
+		return nil, fmt.Errorf("workers %d out of range [0, %d] (0 = service default)",
+			spec.Workers, s.cfg.SimWorkers)
+	}
+	if err := validatePatterns(spec.Patterns); err != nil {
+		return nil, err
+	}
+	if spec.FaultShard != nil && !k.shardable() {
+		return nil, fmt.Errorf("fault_shard applies only to grade jobs, not %q", kindName)
+	}
+	if err := k.validate(spec); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// kindAllowed reports whether this server serves the given canonical
+// kind name (Config.Kinds empty = all).
+func (s *Service) kindAllowed(kindName string) bool {
+	if len(s.cfg.Kinds) == 0 {
+		return true
+	}
+	for _, k := range s.cfg.Kinds {
+		if NormalizeKind(k) == kindName {
+			return true
+		}
+	}
+	return false
+}
+
 // Submit validates spec, enqueues a job and returns its id. The job
 // runs asynchronously on the bounded pool; resolution errors (bad
 // netlist, unknown name) surface as a failed job status.
 func (s *Service) Submit(spec JobSpec) (string, error) {
-	if _, err := CircuitKey(spec); err != nil {
-		return "", err
-	}
-	if spec.Mode == "" {
-		// No silent default on the wire: a request must say what it
-		// wants. Library callers get the NoDrop default from the adifo
-		// facade's options instead.
-		return "", fmt.Errorf("mode is required (nodrop, drop or ndetect)")
-	}
-	mode, err := fsim.ParseMode(spec.Mode)
+	k, err := s.validateSpec(spec)
 	if err != nil {
-		return "", err
-	}
-	if mode == fsim.NDetect && spec.N <= 0 {
-		return "", fmt.Errorf("ndetect mode requires n > 0")
-	}
-	if mode != fsim.NDetect && spec.N != 0 {
-		return "", fmt.Errorf("n is only meaningful in ndetect mode")
-	}
-	if spec.Workers < 0 || spec.Workers > s.cfg.SimWorkers {
-		return "", fmt.Errorf("workers %d out of range [0, %d] (0 = service default)",
-			spec.Workers, s.cfg.SimWorkers)
-	}
-	if fs := spec.FaultShard; fs != nil {
-		if fs.Count < 1 {
-			return "", fmt.Errorf("fault_shard count %d must be >= 1", fs.Count)
-		}
-		if fs.Index < 0 || fs.Index >= fs.Count {
-			return "", fmt.Errorf("fault_shard index %d out of range [0, %d)", fs.Index, fs.Count)
-		}
-		if spec.StopAtCoverage > 0 {
-			// The cut-off is defined on global coverage, which a shard
-			// cannot observe; allowing it would silently break the
-			// bit-identical merge guarantee.
-			return "", fmt.Errorf("stop_at_coverage cannot be combined with fault_shard")
-		}
-	}
-	if err := validatePatterns(spec.Patterns); err != nil {
 		return "", err
 	}
 
@@ -353,11 +418,12 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 	j := &job{
 		id:     id,
 		spec:   spec,
-		opts:   fsim.Options{Mode: mode, N: spec.N, StopAtCoverage: spec.StopAtCoverage},
+		kind:   k,
 		ctx:    ctx,
 		cancel: cancel,
 		status: JobStatus{
 			ID:         id,
+			Kind:       NormalizeKind(spec.Kind),
 			State:      StateQueued,
 			FaultShard: spec.FaultShard,
 		},
@@ -402,11 +468,12 @@ func (s *Service) Jobs() []JobStatus {
 	return out
 }
 
-// Result returns the grading outcome of a finished job. It returns
-// ErrNotFound for unknown ids, ErrNotDone while the job is queued or
-// running, ErrCancelled for cancelled jobs, and the job's failure for
-// failed jobs.
-func (s *Service) Result(id string) (*JobResult, error) {
+// ResultAny returns the kind-specific outcome of a finished job —
+// *JobResult for grade, *AtpgResult for atpg, *OrderResult for
+// adi_order. It returns ErrNotFound for unknown ids, ErrNotDone while
+// the job is queued or running, ErrCancelled for cancelled jobs, and
+// the job's failure for failed jobs.
+func (s *Service) ResultAny(id string) (any, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
@@ -424,6 +491,20 @@ func (s *Service) Result(id string) (*JobResult, error) {
 		return nil, fmt.Errorf("%w (job %s)", ErrCancelled, id)
 	}
 	return nil, ErrNotDone
+}
+
+// Result is ResultAny for grade jobs, the dominant workload; it errors
+// on jobs of other kinds instead of guessing at a conversion.
+func (s *Service) Result(id string) (*JobResult, error) {
+	v, err := s.ResultAny(id)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := v.(*JobResult)
+	if !ok {
+		return nil, fmt.Errorf("service: job %s is not a grade job (its result is %T); fetch it with ResultAny", id, v)
+	}
+	return r, nil
 }
 
 // Cancel aborts a job. A queued job transitions to cancelled
@@ -585,7 +666,11 @@ func (s *Service) evictOldJobsLocked() {
 	s.order = kept
 }
 
-// run executes one job on the bounded pool.
+// run executes one job on the bounded pool: it claims the running
+// state, hands the body to the job's kind, and performs the terminal
+// transition the kind's outcome calls for. A context error from the
+// kind means the job was cancelled at a barrier; any other error fails
+// the job.
 func (s *Service) run(j *job) {
 	defer s.wg.Done()
 	defer func() {
@@ -608,74 +693,18 @@ func (s *Service) run(j *job) {
 	j.status.State = StateRunning
 	j.mu.Unlock()
 
-	entry, err := s.reg.CircuitFor(j.spec)
+	result, err := j.kind.run(s, j)
 	if err != nil {
-		s.fail(j, err)
-		return
-	}
-	// A cancel that lands during circuit resolution aborts the job but
-	// not the registry build: the entry stays cached and consistent for
-	// the next submission of the same circuit.
-	if j.ctx.Err() != nil {
-		s.finishCancelled(j)
-		return
-	}
-	ps, patternKey, err := buildPatterns(entry.Circuit.NumInputs(), j.spec.Patterns)
-	if err != nil {
-		s.fail(j, err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.finishCancelled(j)
+		} else {
+			s.fail(j, err)
+		}
 		return
 	}
 
-	// A shard job grades only its index range of the collapsed
-	// universe, against the full pattern set. The sub-list shares the
-	// cached entry's backing array read-only; shardLo maps shard-local
-	// fault indices back to global ones in the result.
-	faults, shardLo := entry.Faults, 0
-	if fs := j.spec.FaultShard; fs != nil {
-		lo, hi := ShardRange(entry.Faults.Len(), fs.Index, fs.Count)
-		shardLo = lo
-		faults = &fault.List{Circuit: entry.Circuit, Faults: entry.Faults.Faults[lo:hi]}
-	}
-
-	j.mu.Lock()
-	j.status.Circuit = entry.Circuit.Name
-	j.status.Faults = faults.Len()
-	j.status.Vectors = ps.Len()
-	j.status.Blocks = ps.Blocks()
-	j.status.Active = faults.Len()
-	j.mu.Unlock()
-
-	// Early-stopping jobs (drop mode, coverage cut-off) often touch only
-	// a prefix of the blocks; precomputing the full good simulation for
-	// them would do strictly more work than the simulator's lazy
-	// per-block path, so the cache is reserved for runs that visit
-	// every block.
-	var good *fsim.Good
-	if j.opts.Mode != fsim.Drop && j.opts.StopAtCoverage == 0 {
-		good = s.reg.Good(entry, patternKey, ps)
-	}
-	// Submit already rejected out-of-range values; 0 means the service
-	// default.
-	workers := j.spec.Workers
-	if workers == 0 {
-		workers = s.cfg.SimWorkers
-	}
-	res, err := fsim.RunParallelCtx(j.ctx, faults, ps, fsim.ParallelOptions{
-		Options:  j.opts,
-		Workers:  workers,
-		Good:     good,
-		Progress: func(p fsim.Progress) { j.publish(p) },
-	})
-	if err != nil {
-		s.finishCancelled(j)
-		return
-	}
-
-	result := buildResult(j, entry, faults, shardLo, ps.Len(), res)
 	j.mu.Lock()
 	j.status.State = StateDone
-	j.status.VectorsUsed = res.VectorsUsed
-	j.status.Detected = result.Detected
 	j.result = result
 	subs := j.subs
 	j.subs = nil
@@ -739,6 +768,7 @@ func (j *job) publish(p fsim.Progress) {
 	j.status.Active = p.Active
 	ev := ProgressEvent{
 		JobID:       j.id,
+		Kind:        j.status.Kind,
 		State:       StateRunning,
 		Block:       p.Block,
 		Blocks:      p.Blocks,
@@ -746,6 +776,36 @@ func (j *job) publish(p fsim.Progress) {
 		Detected:    p.Detected,
 		Active:      p.Active,
 	}
+	j.send(ev)
+}
+
+// publishGen pushes one per-target ATPG progress snapshot — the
+// generation-phase analogue of publish, fired after every PODEM
+// attempt.
+func (j *job) publishGen(p tgen.Progress) {
+	j.mu.Lock()
+	j.status.TargetsDone = p.Done
+	j.status.Targets = p.Targets
+	j.status.Tests = p.Tests
+	j.status.Detected = p.Detected
+	j.status.Active = p.Active
+	ev := ProgressEvent{
+		JobID:    j.id,
+		Kind:     j.status.Kind,
+		State:    StateRunning,
+		Target:   p.Done,
+		Targets:  p.Targets,
+		Tests:    p.Tests,
+		Detected: p.Detected,
+		Active:   p.Active,
+	}
+	j.send(ev)
+}
+
+// send delivers one event to every subscriber without blocking (a slow
+// consumer misses intermediate events, never the channel close).
+// Called with j.mu held; unlocks it.
+func (j *job) send(ev ProgressEvent) {
 	subs := append([]chan ProgressEvent(nil), j.subs...)
 	j.mu.Unlock()
 	for _, ch := range subs {
@@ -754,42 +814,6 @@ func (j *job) publish(p fsim.Progress) {
 		default:
 		}
 	}
-}
-
-// buildResult assembles the wire result. faults is the graded list (a
-// shard sub-list of entry.Faults for shard jobs) and shardLo maps its
-// local indices back to global collapsed-universe indices, so FaultResult.F
-// is always global and shard results concatenate directly.
-func buildResult(j *job, entry *CircuitEntry, faults *fault.List, shardLo, vectors int, res *fsim.Result) *JobResult {
-	c := entry.Circuit
-	out := &JobResult{
-		ID:          j.id,
-		Circuit:     c.Name,
-		Fingerprint: fmt.Sprintf("%016x", entry.Fingerprint),
-		Mode:        j.opts.Mode.String(),
-		Faults:      faults.Len(),
-		TotalFaults: entry.Faults.Len(),
-		FaultShard:  j.spec.FaultShard,
-		Vectors:     vectors,
-		VectorsUsed: res.VectorsUsed,
-		Detected:    res.DetectedCount(),
-		Coverage:    res.Coverage(),
-		Ndet:        append([]int(nil), res.Ndet...),
-		PerFault:    make([]FaultResult, faults.Len()),
-	}
-	for fi, f := range faults.Faults {
-		fr := FaultResult{
-			F:        shardLo + fi,
-			Name:     f.Name(c),
-			DetCount: res.DetCount[fi],
-			FirstDet: res.FirstDet[fi],
-		}
-		if res.Det != nil {
-			fr.Det = res.Det[fi].Indices()
-		}
-		out.PerFault[fi] = fr
-	}
-	return out
 }
 
 func validatePatterns(spec PatternSpec) error {

@@ -44,6 +44,33 @@ type Options struct {
 	// vector drops. The check is cheap relative to generation and on
 	// by default in the experiment harness.
 	Validate bool
+	// Progress, when non-nil, is called after every PODEM attempt
+	// (successful, redundant or aborted; already-dropped targets are
+	// skipped silently) with the run's state — the generation
+	// analogue of the simulator's per-block progress callback. It is
+	// called from the generating goroutine, never concurrently, and
+	// must not retain its argument.
+	Progress func(Progress)
+}
+
+// Progress is a per-target snapshot of a running generation.
+type Progress struct {
+	// Done counts the order positions consumed so far (1-based).
+	// Because already-dropped targets are skipped without an event,
+	// the last event of a run whose order ends in dropped faults has
+	// Done < Targets; only the terminal job status is authoritative
+	// for completion. Targets is the order length.
+	Done    int
+	Targets int
+	// Tests is the number of vectors generated so far; Detected the
+	// faults they detect; Active the faults neither detected nor
+	// proven redundant yet.
+	Tests    int
+	Detected int
+	Active   int
+	// AtpgCalls and Backtracks are the effort counters so far.
+	AtpgCalls  int
+	Backtracks int
 }
 
 // Result collects everything one run produced.
@@ -149,7 +176,7 @@ func GenerateContext(ctx context.Context, fl *fault.List, order []int, opts Opti
 	r := &Result{List: fl, Order: order}
 	detected := 0
 
-	for _, fi := range order {
+	for pos, fi := range order {
 		if err := ctx.Err(); err != nil {
 			r.Elapsed = time.Since(start)
 			return r, err
@@ -177,6 +204,17 @@ func GenerateContext(ctx context.Context, fl *fault.List, order []int, opts Opti
 			r.Redundant = append(r.Redundant, fi)
 		case atpg.Aborted:
 			r.Aborted = append(r.Aborted, fi)
+		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Done:       pos + 1,
+				Targets:    len(order),
+				Tests:      len(r.Tests),
+				Detected:   detected,
+				Active:     fl.Len() - detected - len(r.Redundant),
+				AtpgCalls:  r.AtpgCalls,
+				Backtracks: r.Backtracks,
+			})
 		}
 	}
 	r.Elapsed = time.Since(start)

@@ -245,3 +245,35 @@ func TestStatsAccounting(t *testing.T) {
 		t.Fatal("Elapsed not recorded")
 	}
 }
+
+// TestProgressCallback: the per-target progress feed is monotone,
+// consistent with the final result, and its last event matches the
+// run's totals.
+func TestProgressCallback(t *testing.T) {
+	fl := c17Faults(t)
+	order := identityOrder(fl.Len())
+
+	var events []Progress
+	r := Generate(fl, order, Options{Progress: func(p Progress) { events = append(events, p) }})
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	prev := Progress{}
+	for i, p := range events {
+		if p.Targets != fl.Len() {
+			t.Fatalf("event %d: targets %d, want %d", i, p.Targets, fl.Len())
+		}
+		if p.Done <= prev.Done || p.Tests < prev.Tests || p.Detected < prev.Detected || p.AtpgCalls <= prev.AtpgCalls {
+			t.Fatalf("event %d not monotone: %+v after %+v", i, p, prev)
+		}
+		prev = p
+	}
+	last := events[len(events)-1]
+	if last.Tests != len(r.Tests) || last.Detected != r.Detected() || last.AtpgCalls != r.AtpgCalls {
+		t.Fatalf("last event %+v does not match result (%d tests, %d detected, %d calls)",
+			last, len(r.Tests), r.Detected(), r.AtpgCalls)
+	}
+	if last.Active != fl.Len()-r.Detected()-len(r.Redundant) {
+		t.Fatalf("last event active %d, want %d", last.Active, fl.Len()-r.Detected()-len(r.Redundant))
+	}
+}
