@@ -21,6 +21,7 @@ import (
 	"github.com/eda-go/adifo"
 	"github.com/eda-go/adifo/internal/experiments"
 	"github.com/eda-go/adifo/internal/gen"
+	"github.com/eda-go/adifo/internal/obs"
 	"github.com/eda-go/adifo/internal/service"
 )
 
@@ -219,16 +220,16 @@ func BenchmarkServiceThroughput(b *testing.B) {
 // (bit-identical results), so this benchmark tracks coordination
 // overhead over time.
 func BenchmarkClusterGrade(b *testing.B) {
-	quiet := func(string, ...any) {}
+	quiet := obs.Nop()
 	urls := make([]string, 3)
 	for i := range urls {
-		g := adifo.NewLocalGrader(adifo.GraderConfig{MaxConcurrentJobs: 4, Logf: quiet})
+		g := adifo.NewLocalGrader(adifo.GraderConfig{MaxConcurrentJobs: 4, Logger: quiet})
 		srv := httptest.NewServer(g.Handler())
 		defer srv.Close()
 		defer g.Close()
 		urls[i] = srv.URL
 	}
-	cg, err := adifo.NewClusterGrader(urls, adifo.ClusterOptions{Logf: quiet})
+	cg, err := adifo.NewClusterGrader(urls, adifo.ClusterOptions{Logger: quiet})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -281,6 +281,7 @@ func grade(o options, out *os.File) error {
 	}
 	fmt.Fprintf(out, "circuit     %s (fingerprint %s)\n", res.Circuit, res.Fingerprint)
 	fmt.Fprintf(out, "mode        %s\n", res.Mode)
+	printTiming(out, res.Timing)
 	fmt.Fprintf(out, "vectors     %d (%d simulated)\n", res.Vectors, res.VectorsUsed)
 	fmt.Fprintf(out, "faults      %d, detected %d, coverage %.2f%%\n",
 		res.Faults, res.Detected, 100*res.Coverage)
@@ -454,6 +455,7 @@ func genRemote(o options, kind adifo.OrderKind, out *os.File) error {
 	}
 	fmt.Fprintf(out, "circuit     %s (fingerprint %s)\n", res.Circuit, res.Fingerprint)
 	fmt.Fprintf(out, "order       %s, U %d vectors\n", res.Order, res.Vectors)
+	printTiming(out, res.Timing)
 	printGenSummary(out, o.limit, len(res.Tests), res.Detected, res.Faults, res.Coverage,
 		res.AVE, res.AtpgCalls, res.Backtracks, func(i int) (string, int) {
 			return res.Tests[i], res.TargetOf[i]
@@ -476,6 +478,29 @@ func printGenSummary(out *os.File, limit, tests, detected, faults int, coverage,
 		v, target := test(i)
 		fmt.Fprintf(out, "t%-4d %s (for f%d)\n", i, v, target)
 	}
+}
+
+// printTiming renders the server-side wall-clock record of a remote
+// job: queue wait, run time, and the per-phase breakdown in pipeline
+// order. Old servers send no timing; print nothing rather than zeros.
+func printTiming(out *os.File, t *adifo.JobTiming) {
+	if t == nil {
+		return
+	}
+	fmt.Fprintf(out, "timing      queue %.3fs, run %.3fs\n", t.QueueWaitSeconds, t.RunSeconds)
+	if len(t.Phases) == 0 {
+		return
+	}
+	var parts []string
+	for _, name := range []string{
+		adifo.PhaseRegistryBuild, adifo.PhaseSimulate,
+		adifo.PhaseOrder, adifo.PhaseGenerate, adifo.PhaseMerge,
+	} {
+		if v, ok := t.Phases[name]; ok {
+			parts = append(parts, fmt.Sprintf("%s %.3fs", name, v))
+		}
+	}
+	fmt.Fprintf(out, "phases      %s\n", strings.Join(parts, ", "))
 }
 
 // vectorString renders a test vector as a bit string, matching the
@@ -544,6 +569,7 @@ func orderRemote(o options, out *os.File) error {
 	}
 	fmt.Fprintf(out, "U %d vectors; |F_U| = %d of %d faults; ADImin=%d ADImax=%d ratio=%.2f\n",
 		res.Vectors, res.NumDetected, res.Faults, res.ADIMin, res.ADIMax, res.Ratio)
+	printTiming(out, res.Timing)
 	fmt.Fprintf(out, "order %s:\n", res.Order)
 	for pos, fi := range res.Perm {
 		if o.limit > 0 && pos >= o.limit {

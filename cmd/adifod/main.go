@@ -31,18 +31,28 @@
 // block barrier, progress streams end with the terminal cancelled
 // status, and the HTTP server drains within the -grace deadline.
 //
+// Observability: the job API itself serves GET /metrics (Prometheus
+// text exposition of the engine's counters, gauges and latency
+// histograms). -debug-addr starts a second, internal-only listener
+// with the same /metrics plus net/http/pprof under /debug/pprof/ —
+// CPU profiles label samples with the running job's kind and id, so a
+// flamegraph attributes simulator time per workload. Logs are
+// structured key-value records (-log-level debug|info|warn|error).
+//
 // Usage:
 //
-//	adifod -addr :8417 -jobs 4 -workers 8 -grace 10s -kinds grade,atpg
+//	adifod -addr :8417 -jobs 4 -workers 8 -grace 10s -kinds grade,atpg \
+//	       -debug-addr 127.0.0.1:8418 -log-level info
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,19 +60,27 @@ import (
 	"time"
 
 	"github.com/eda-go/adifo"
+	"github.com/eda-go/adifo/internal/obs"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", ":8417", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "internal listen address for /metrics and /debug/pprof/ (empty = disabled)")
 		jobs         = flag.Int("jobs", 0, "max concurrent jobs (0 = default)")
 		workers      = flag.Int("workers", 0, "shard workers per job (0 = GOMAXPROCS)")
 		circuitCache = flag.Int("circuit-cache", 0, "circuit registry LRU capacity (0 = default)")
 		goodCache    = flag.Int("good-cache", 0, "good-machine cache LRU capacity (0 = default)")
 		grace        = flag.Duration("grace", 10*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
 		kindsFlag    = flag.String("kinds", "", "comma-separated job kinds to serve (grade,atpg,adi_order; empty = all)")
+		logLevel     = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("adifod %s %s\n", adifo.Version, obs.GoVersion())
+		return
+	}
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "adifod: unexpected arguments %v\n", flag.Args())
 		os.Exit(2)
@@ -72,6 +90,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adifod: %v\n", err)
 		os.Exit(2)
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "adifod: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	g := adifo.NewLocalGrader(adifo.GraderConfig{
 		SimWorkers:        *workers,
@@ -79,22 +103,52 @@ func main() {
 		CircuitCache:      *circuitCache,
 		GoodCache:         *goodCache,
 		Kinds:             kinds,
+		Logger:            logger,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("adifod: %v", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	served := "all job kinds"
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Error("debug listen failed", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("debug listener up", "addr", dln.Addr().String())
+		go http.Serve(dln, debugMux(g))
+	}
+
+	served := "all"
 	if len(kinds) > 0 {
-		served = "kinds " + strings.Join(kinds, ", ")
+		served = strings.Join(kinds, ",")
 	}
-	log.Printf("adifod listening on %s, serving %s", ln.Addr(), served)
-	if err := serve(ctx, ln, g, *grace); err != nil {
-		log.Fatalf("adifod: %v", err)
+	logger.Info("adifod listening", "addr", ln.Addr().String(),
+		"kinds", served, "version", adifo.Version)
+	if err := serve(ctx, ln, g, *grace, logger); err != nil {
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("adifod: drained, bye")
+	logger.Info("drained, bye")
+}
+
+// debugMux is the internal-only debug surface: the same Prometheus
+// exposition the job API serves, plus net/http/pprof. It is never
+// mounted on the public listener — profile endpoints can stall a
+// process and belong behind the firewall.
+func debugMux(g *adifo.LocalGrader) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", g.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // parseKinds splits the -kinds flag into the engine's kind names,
@@ -126,7 +180,7 @@ func parseKinds(s string) ([]string, error) {
 // cancel immediately, running jobs cancel at their next block barrier,
 // streams close with the terminal status — and the HTTP server then
 // has until the grace deadline to finish in-flight responses.
-func serve(ctx context.Context, ln net.Listener, g *adifo.LocalGrader, grace time.Duration) error {
+func serve(ctx context.Context, ln net.Listener, g *adifo.LocalGrader, grace time.Duration, logger *slog.Logger) error {
 	srv := &http.Server{Handler: g.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -136,7 +190,7 @@ func serve(ctx context.Context, ln net.Listener, g *adifo.LocalGrader, grace tim
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("adifod: signal received, draining (deadline %s)", grace)
+	logger.Info("signal received, draining", "deadline", grace.String())
 	sctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	done := make(chan struct{})

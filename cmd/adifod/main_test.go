@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/eda-go/adifo"
+	"github.com/eda-go/adifo/internal/obs"
 )
 
 // slowChainBench is a deep XOR chain whose grading spans enough
@@ -42,7 +43,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 	ctx, signalArrives := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serve(ctx, ln, g, 30*time.Second) }()
+	go func() { serveDone <- serve(ctx, ln, g, 30*time.Second, obs.Nop()) }()
 
 	rg := adifo.NewRemoteGrader("http://"+ln.Addr().String(), nil)
 	id, err := rg.Submit(context.Background(), adifo.JobSpec{
@@ -126,7 +127,7 @@ func TestServeStopsOnListenerError(t *testing.T) {
 		t.Fatal(err)
 	}
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serve(context.Background(), ln, g, time.Second) }()
+	go func() { serveDone <- serve(context.Background(), ln, g, time.Second, obs.Nop()) }()
 	time.Sleep(50 * time.Millisecond)
 	ln.Close()
 	select {

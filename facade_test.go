@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"github.com/eda-go/adifo"
+	"github.com/eda-go/adifo/internal/obs"
 )
 
 func TestFacadePipeline(t *testing.T) {
@@ -277,7 +278,7 @@ func clusterOf(t *testing.T, n int) *adifo.ClusterGrader {
 		})
 		urls[i] = srv.URL
 	}
-	g, err := adifo.NewClusterGrader(urls, adifo.ClusterOptions{Logf: func(string, ...any) {}})
+	g, err := adifo.NewClusterGrader(urls, adifo.ClusterOptions{Logger: obs.Nop()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,6 +335,7 @@ func TestClusterGraderParity(t *testing.T) {
 	norm := func(r *adifo.JobResult) string {
 		cp := *r
 		cp.ID = "X"
+		cp.Timing = nil // wall-clock, never identical between runs
 		b, err := json.Marshal(&cp)
 		if err != nil {
 			t.Fatal(err)

@@ -5,9 +5,14 @@ import (
 	"net/http"
 
 	"github.com/eda-go/adifo/internal/cluster"
+	"github.com/eda-go/adifo/internal/obs"
 	"github.com/eda-go/adifo/internal/service"
 	"github.com/eda-go/adifo/internal/service/client"
 )
+
+// Version is the adifo stack's build version, the value `adifod
+// -version` prints and the adifo_build_info metric carries.
+const Version = obs.Version
 
 // Wire types of the v1 job API, shared verbatim between the in-process
 // engine, the adifod HTTP server and the remote client, so a result is
@@ -53,6 +58,21 @@ type (
 	// ClusterShardStatus is the per-shard placement state of a cluster
 	// job (backend URL, remote sub-job id, retries).
 	ClusterShardStatus = cluster.ShardStatus
+	// JobTiming is the per-job wall-clock record on statuses and
+	// results: submit/start/finish timestamps, queue wait, and the
+	// per-phase duration map (registry_build, simulate, order,
+	// generate, merge).
+	JobTiming = service.Timing
+)
+
+// Phase names of JobTiming.Phases: each kind records the pipeline
+// stages it actually ran.
+const (
+	PhaseRegistryBuild = service.PhaseRegistryBuild
+	PhaseSimulate      = service.PhaseSimulate
+	PhaseOrder         = service.PhaseOrder
+	PhaseGenerate      = service.PhaseGenerate
+	PhaseMerge         = service.PhaseMerge
 )
 
 // Job states. Queued and running jobs may still change state; done,
@@ -130,6 +150,11 @@ func NewLocalGrader(cfg GraderConfig) *LocalGrader {
 // Handler returns the engine's v1 HTTP+JSON API, the surface cmd/adifod
 // listens on and RemoteGrader talks to.
 func (g *LocalGrader) Handler() http.Handler { return g.svc.Handler() }
+
+// MetricsHandler returns the engine's Prometheus text exposition
+// endpoint on its own, for embedders that mount metrics on a separate
+// (internal) listener; Handler already serves it at GET /metrics.
+func (g *LocalGrader) MetricsHandler() http.Handler { return g.svc.Metrics().Handler() }
 
 // Submit implements Grader. Graders run grade jobs; specs of other
 // kinds are rejected here rather than failing later at Result (use
@@ -323,6 +348,11 @@ func (g *ClusterGrader) Stats(ctx context.Context) (GraderStats, error) {
 func (g *ClusterGrader) Shards(id string) ([]ClusterShardStatus, error) {
 	return g.co.Shards(id)
 }
+
+// MetricsHandler returns the coordinator's Prometheus text exposition
+// endpoint: per-backend probe latency, shard retries, flapping
+// exclusions and merge time.
+func (g *ClusterGrader) MetricsHandler() http.Handler { return g.co.Metrics().Handler() }
 
 // Close implements Grader: it waits for the orchestration of every
 // submitted cluster job to finish.

@@ -27,11 +27,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"runtime/pprof"
 	"sync"
 	"time"
 
+	"github.com/eda-go/adifo/internal/obs"
 	"github.com/eda-go/adifo/internal/service"
 	"github.com/eda-go/adifo/internal/service/client"
 )
@@ -56,9 +58,10 @@ type Options struct {
 	// service's own retention bound; the oldest finished jobs are
 	// evicted first, running jobs never (default 1024).
 	MaxRetainedJobs int
-	// Logf receives placement and retry diagnostics (default
-	// log.Printf).
-	Logf func(format string, args ...any)
+	// Logger receives placement and retry diagnostics as structured
+	// records with "backend", "shard" and "job" fields. Nil selects the
+	// stack default (Info-level text on stderr); tests pass obs.Nop().
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -77,9 +80,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxRetainedJobs <= 0 {
 		o.MaxRetainedJobs = 1024
 	}
-	if o.Logf == nil {
-		o.Logf = log.Printf
-	}
+	o.Logger = obs.Or(o.Logger)
 	return o
 }
 
@@ -121,6 +122,13 @@ func (b *backend) flapping(max int) bool {
 type Coordinator struct {
 	opts     Options
 	backends []*backend
+	logger   *slog.Logger
+
+	// metrics/met instrument the coordinator; now is the clock,
+	// swappable by tests that pin timing values.
+	metrics *obs.Registry
+	met     *clusterMetrics
+	now     func() time.Time
 
 	mu    sync.Mutex
 	jobs  map[string]*cjob
@@ -136,7 +144,14 @@ func New(urls []string, opts Options) (*Coordinator, error) {
 		return nil, errors.New("cluster: at least one backend URL is required")
 	}
 	opts = opts.withDefaults()
-	co := &Coordinator{opts: opts, jobs: make(map[string]*cjob)}
+	co := &Coordinator{
+		opts:    opts,
+		logger:  opts.Logger,
+		jobs:    make(map[string]*cjob),
+		metrics: obs.NewRegistry(),
+		now:     time.Now,
+	}
+	co.met = newClusterMetrics(co.metrics)
 	seen := make(map[string]bool)
 	for _, u := range urls {
 		if seen[u] {
@@ -144,9 +159,17 @@ func New(urls []string, opts Options) (*Coordinator, error) {
 		}
 		seen[u] = true
 		co.backends = append(co.backends, &backend{url: u, cl: client.New(u, opts.HTTPClient)})
+		// Pre-create the per-backend series so a scrape shows the full
+		// backend set at zero before any probe or failure.
+		co.met.probeSeconds.With(u)
+		co.met.exclusions.With(u)
 	}
 	return co, nil
 }
+
+// Metrics exposes the coordinator's metric registry, so an embedder
+// can mount its Prometheus exposition handler.
+func (co *Coordinator) Metrics() *obs.Registry { return co.metrics }
 
 // shard is one fault-range sub-job of a cluster job. backend and
 // remoteID change when the shard is retried elsewhere.
@@ -201,6 +224,7 @@ type cjob struct {
 
 	mu        sync.Mutex
 	status    service.JobStatus
+	timing    service.Timing
 	result    *service.JobResult
 	cancelled bool
 	subs      []chan service.ProgressEvent
@@ -212,14 +236,23 @@ func (j *cjob) isCancelled() bool {
 	return j.cancelled
 }
 
-func (co *Coordinator) logf(format string, args ...any) { co.opts.Logf(format, args...) }
-
-// probe checks one backend's liveness with the configured timeout.
+// probe checks one backend's liveness with the configured timeout and
+// records the round-trip in the per-backend probe histogram (a dead
+// backend observes the timeout it cost the sweep).
 func (co *Coordinator) probe(ctx context.Context, b *backend) error {
 	pctx, cancel := context.WithTimeout(ctx, co.opts.ProbeTimeout)
 	defer cancel()
+	start := co.now()
 	_, err := b.cl.Stats(pctx)
+	co.met.probeSeconds.With(b.url).Observe(co.now().Sub(start).Seconds())
 	return err
+}
+
+// exclude counts and logs one placement decision that passed over a
+// flapping backend.
+func (co *Coordinator) exclude(b *backend) {
+	co.met.exclusions.With(b.url).Inc()
+	co.logger.Debug("backend excluded from placement (flapping)", "backend", b.url)
 }
 
 // healthyBackends probes every backend concurrently (one ProbeTimeout
@@ -230,6 +263,7 @@ func (co *Coordinator) healthyBackends(ctx context.Context) []*backend {
 	var wg sync.WaitGroup
 	for i, b := range co.backends {
 		if b.flapping(co.opts.MaxBackendFailures) {
+			co.exclude(b)
 			continue
 		}
 		wg.Add(1)
@@ -237,7 +271,7 @@ func (co *Coordinator) healthyBackends(ctx context.Context) []*backend {
 			defer wg.Done()
 			if err := co.probe(ctx, b); err != nil {
 				b.markFailure()
-				co.logf("cluster: backend %s unhealthy: %v", b.url, err)
+				co.logger.Warn("backend unhealthy", "backend", b.url, "err", err)
 				return
 			}
 			ok[i] = true
@@ -285,11 +319,15 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 	id := fmt.Sprintf("c%d", co.seq)
 	co.mu.Unlock()
 
+	// A cluster job has no queue: placement starts immediately, so
+	// submitted and started coincide and queue wait is zero.
+	now := co.now()
 	j := &cjob{
 		id:     id,
 		spec:   spec,
 		merge:  newMerger(id, count),
 		status: service.JobStatus{ID: id, Kind: service.KindGrade, State: service.StateRunning},
+		timing: service.Timing{SubmittedAt: now, StartedAt: now},
 	}
 	for i := 0; i < count; i++ {
 		j.shards = append(j.shards, &shard{index: i, count: count, state: service.StateRunning})
@@ -307,6 +345,7 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 		for attempt := 0; attempt < len(healthy); attempt++ {
 			b := healthy[(i+attempt)%len(healthy)]
 			if b.flapping(co.opts.MaxBackendFailures) {
+				co.exclude(b)
 				continue
 			}
 			rid, err := b.cl.Submit(ctx, sub)
@@ -326,11 +365,13 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 				// refusal here does not condemn the spec everywhere:
 				// try the next backend, and only fail the submit when
 				// no backend accepts the shard.
-				co.logf("cluster: backend %s refused shard %d/%d: %v", b.url, i, count, err)
+				co.logger.Warn("backend refused shard", "backend", b.url,
+					"job", id, "shard", i, "shards", count, "err", err)
 				continue
 			}
 			b.markFailure()
-			co.logf("cluster: submitting shard %d/%d to %s: %v", i, count, b.url, err)
+			co.logger.Warn("submitting shard failed", "backend", b.url,
+				"job", id, "shard", i, "shards", count, "err", err)
 		}
 		if !placed {
 			co.cancelSubJobs(j, nil)
@@ -351,7 +392,9 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 		go func(sh *shard) {
 			defer shardWg.Done()
 			defer co.wg.Done()
-			co.runShard(j, sh)
+			pprof.Do(context.Background(),
+				pprof.Labels("job", j.id, "shard", fmt.Sprintf("%d/%d", sh.index, sh.count)),
+				func(context.Context) { co.runShard(j, sh) })
 		}(sh)
 	}
 	co.wg.Add(1)
@@ -442,7 +485,8 @@ func (co *Coordinator) runShard(j *cjob, sh *shard) {
 				sh.index, sh.count, co.opts.MaxShardRetries, err))
 			return
 		}
-		co.logf("cluster: shard %d/%d lost on %s (%v), retrying elsewhere", sh.index, sh.count, b.url, err)
+		co.logger.Warn("shard lost, retrying elsewhere", "backend", b.url,
+			"job", j.id, "shard", sh.index, "shards", sh.count, "err", err)
 		if perr := co.replaceShard(ctx, j, sh, b); perr != nil {
 			if j.isCancelled() {
 				sh.finish(service.StateCancelled, nil, nil)
@@ -451,6 +495,7 @@ func (co *Coordinator) runShard(j *cjob, sh *shard) {
 			co.failShard(j, sh, fmt.Errorf("shard %d/%d: %v (after %v)", sh.index, sh.count, perr, err))
 			return
 		}
+		co.met.shardRetries.Inc()
 	}
 }
 
@@ -465,6 +510,7 @@ func (co *Coordinator) replaceShard(ctx context.Context, j *cjob, sh *shard, fai
 	for off := 1; off <= len(co.backends); off++ {
 		b := co.backends[(backendIndex(co.backends, failed)+off)%len(co.backends)]
 		if b.flapping(co.opts.MaxBackendFailures) {
+			co.exclude(b)
 			continue
 		}
 		if err := co.probe(ctx, b); err != nil {
@@ -490,7 +536,8 @@ func (co *Coordinator) replaceShard(ctx context.Context, j *cjob, sh *shard, fai
 		sh.mu.Lock()
 		sh.backend, sh.remoteID = b, rid
 		sh.mu.Unlock()
-		co.logf("cluster: shard %d/%d replaced onto %s as %s", sh.index, sh.count, b.url, rid)
+		co.logger.Info("shard replaced", "backend", b.url,
+			"job", j.id, "shard", sh.index, "shards", sh.count, "remote_id", rid)
 		return nil
 	}
 	if lastErr == nil {
@@ -571,7 +618,13 @@ func (co *Coordinator) finalize(j *cjob) {
 			sh.mu.Unlock()
 		}
 		var err error
+		mergeStart := co.now()
 		merged, err = MergeResults(j.id, results)
+		mergeDur := co.now().Sub(mergeStart)
+		co.met.mergeSeconds.Observe(mergeDur.Seconds())
+		j.mu.Lock()
+		j.timing.AddPhase(service.PhaseMerge, mergeDur)
+		j.mu.Unlock()
 		if err != nil {
 			state = service.StateFailed
 			firstErr = err
@@ -587,7 +640,15 @@ func (co *Coordinator) finalize(j *cjob) {
 
 	j.mu.Lock()
 	j.status.State = state
+	j.timing.FinishedAt = co.now()
+	j.timing.RunSeconds = j.timing.FinishedAt.Sub(j.timing.StartedAt).Seconds()
+	timing := j.timing.Snapshot()
+	j.status.Timing = timing
 	if merged != nil {
+		// The merged result carries the cluster job's own timing — the
+		// fan-out's wall clock and merge phase, not any single backend's
+		// run (those are visible on the sub-jobs' own wires).
+		merged.Timing = timing
 		j.result = merged
 		j.status.Circuit = merged.Circuit
 		j.status.Faults = merged.Faults
@@ -601,6 +662,7 @@ func (co *Coordinator) finalize(j *cjob) {
 	subs := j.subs
 	j.subs = nil
 	j.mu.Unlock()
+	co.met.jobsTotal.With(state).Inc()
 	for _, ch := range subs {
 		close(ch)
 	}
@@ -823,7 +885,7 @@ func (co *Coordinator) Stats(ctx context.Context) (service.Stats, error) {
 			defer cancel()
 			st, err := b.cl.Stats(pctx)
 			if err != nil {
-				co.logf("cluster: stats from %s: %v", b.url, err)
+				co.logger.Warn("fetching backend stats failed", "backend", b.url, "err", err)
 				return
 			}
 			stats[i] = &st
@@ -843,8 +905,10 @@ func (co *Coordinator) Stats(ctx context.Context) (service.Stats, error) {
 		out.JobsQueued += st.JobsQueued
 		out.Registry.CircuitHits += st.Registry.CircuitHits
 		out.Registry.CircuitMisses += st.Registry.CircuitMisses
+		out.Registry.CircuitEvictions += st.Registry.CircuitEvictions
 		out.Registry.GoodHits += st.Registry.GoodHits
 		out.Registry.GoodMisses += st.Registry.GoodMisses
+		out.Registry.GoodEvictions += st.Registry.GoodEvictions
 		out.Registry.Circuits += st.Registry.Circuits
 		out.Registry.Goods += st.Registry.Goods
 	}

@@ -7,23 +7,61 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"github.com/eda-go/adifo/internal/obs"
 	"github.com/eda-go/adifo/internal/service"
 	"github.com/eda-go/adifo/internal/service/client"
 )
 
 // quiet suppresses service/coordinator log chatter in tests.
-func quiet(string, ...any) {}
+var quiet = obs.Nop()
+
+// scrapeRegistry renders reg as text exposition.
+func scrapeRegistry(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// seriesValue sums the sample values of every series whose name (with
+// labels) starts with prefix at a name boundary.
+func seriesValue(t *testing.T, text, prefix string) float64 {
+	t.Helper()
+	sum, found := 0.0, false
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		if rest := line[len(prefix):]; rest[0] != ' ' && rest[0] != '{' {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	if !found {
+		t.Fatalf("no series matching %q in exposition", prefix)
+	}
+	return sum
+}
 
 // newBackend spins up one in-process adifod-equivalent: a service
 // behind a real HTTP server.
 func newBackend(t *testing.T) (*httptest.Server, *service.Service) {
 	t.Helper()
-	svc := service.New(service.Config{MaxConcurrentJobs: 4, Logf: quiet})
+	svc := service.New(service.Config{MaxConcurrentJobs: 4, Logger: quiet})
 	srv := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		srv.Close()
@@ -76,6 +114,7 @@ func canonical(t *testing.T, r *service.JobResult) string {
 	t.Helper()
 	cp := *r
 	cp.ID = "X"
+	cp.Timing = nil // wall-clock, differs between runs by construction
 	b, err := json.Marshal(&cp)
 	if err != nil {
 		t.Fatal(err)
@@ -130,7 +169,7 @@ func TestClusterBitIdentical(t *testing.T) {
 			t.Run(name, func(t *testing.T) {
 				want := canonical(t, referenceResult(t, spec))
 				urls, _ := newBackends(t, n)
-				co, err := New(urls, Options{Logf: quiet})
+				co, err := New(urls, Options{Logger: quiet})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -231,7 +270,7 @@ func TestClusterBackendDeathMidJob(t *testing.T) {
 	dsrv := httptest.NewServer(dying)
 	defer dsrv.Close()
 
-	co, err := New(append(urls, dsrv.URL), Options{Logf: quiet})
+	co, err := New(append(urls, dsrv.URL), Options{Logger: quiet})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,6 +297,30 @@ func TestClusterBackendDeathMidJob(t *testing.T) {
 	if retried == 0 {
 		t.Fatal("no shard was retried despite a backend death")
 	}
+
+	// The incident must be visible on the observability surface too:
+	// the re-placement counter matches the per-shard retry totals, the
+	// merged result records when the fan-out ran and what the merge
+	// cost, and the terminal counter settled on done.
+	exp := scrapeRegistry(t, co.Metrics())
+	if got := seriesValue(t, exp, "adifo_cluster_shard_retries_total"); got != float64(retried) {
+		t.Errorf("adifo_cluster_shard_retries_total = %v, shards report %d retries", got, retried)
+	}
+	if got := seriesValue(t, exp, `adifo_cluster_jobs_total{status="done"}`); got != 1 {
+		t.Errorf(`adifo_cluster_jobs_total{status="done"} = %v, want 1`, got)
+	}
+	if got := seriesValue(t, exp, "adifo_cluster_merge_seconds_count"); got != 1 {
+		t.Errorf("adifo_cluster_merge_seconds_count = %v, want 1", got)
+	}
+	if res.Timing == nil {
+		t.Fatal("merged result carries no timing")
+	}
+	if _, ok := res.Timing.Phases[service.PhaseMerge]; !ok {
+		t.Errorf("merged result timing lacks the merge phase: %v", res.Timing.Phases)
+	}
+	if res.Timing.RunSeconds <= 0 || res.Timing.FinishedAt.IsZero() {
+		t.Errorf("merged result timing implausible: %+v", res.Timing)
+	}
 }
 
 // TestClusterFlappingExcluded marks a backend as flapping after its
@@ -275,7 +338,7 @@ func TestClusterFlappingExcluded(t *testing.T) {
 	dsrv := httptest.NewServer(dying)
 	defer dsrv.Close()
 
-	co, err := New([]string{urls[0], urls[1], dsrv.URL}, Options{Logf: quiet, MaxBackendFailures: 1})
+	co, err := New([]string{urls[0], urls[1], dsrv.URL}, Options{Logger: quiet, MaxBackendFailures: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,6 +376,14 @@ func TestClusterFlappingExcluded(t *testing.T) {
 	if got := canonical(t, res); got != want {
 		t.Fatalf("second job diverges\n got: %s\nwant: %s", got, want)
 	}
+
+	// Every skip of the flapping backend — during placement and during
+	// probing — lands on its exclusion counter.
+	exp := scrapeRegistry(t, co.Metrics())
+	series := `adifo_cluster_backend_exclusions_total{backend="` + dsrv.URL + `"}`
+	if got := seriesValue(t, exp, series); got < 1 {
+		t.Errorf("%s = %v, want >= 1", series, got)
+	}
 }
 
 // TestClusterBackendDrainRetries: a backend cancelling a sub-job on
@@ -327,7 +398,7 @@ func TestClusterBackendDrainRetries(t *testing.T) {
 	want := canonical(t, referenceResult(t, spec))
 
 	urls, svcs := newBackends(t, 2)
-	co, err := New(urls, Options{Logf: quiet})
+	co, err := New(urls, Options{Logger: quiet})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +452,7 @@ func TestClusterBackendDrainRetries(t *testing.T) {
 // stream ends with the cancelled status.
 func TestClusterCancel(t *testing.T) {
 	urls, svcs := newBackends(t, 3)
-	co, err := New(urls, Options{Logf: quiet})
+	co, err := New(urls, Options{Logger: quiet})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +508,7 @@ func TestClusterCancel(t *testing.T) {
 // a direct service submit.
 func TestClusterSubmitValidation(t *testing.T) {
 	urls, _ := newBackends(t, 2)
-	co, err := New(urls, Options{Logf: quiet})
+	co, err := New(urls, Options{Logger: quiet})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,7 +531,7 @@ func TestClusterSubmitValidation(t *testing.T) {
 	}
 
 	// No backends at all: every backend down fails the submit.
-	down, err := New([]string{"http://127.0.0.1:1"}, Options{Logf: quiet, ProbeTimeout: 200 * time.Millisecond})
+	down, err := New([]string{"http://127.0.0.1:1"}, Options{Logger: quiet, ProbeTimeout: 200 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +543,7 @@ func TestClusterSubmitValidation(t *testing.T) {
 
 func TestClusterErrorsContract(t *testing.T) {
 	urls, _ := newBackends(t, 2)
-	co, err := New(urls, Options{Logf: quiet})
+	co, err := New(urls, Options{Logger: quiet})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -560,7 +631,7 @@ func TestMergeResultsValidation(t *testing.T) {
 // one backend with wrong semantics.
 func TestClusterRejectsNonGradeKinds(t *testing.T) {
 	urls, _ := newBackends(t, 2)
-	co, err := New(urls, Options{Logf: quiet})
+	co, err := New(urls, Options{Logger: quiet})
 	if err != nil {
 		t.Fatal(err)
 	}

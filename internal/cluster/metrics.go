@@ -1,0 +1,39 @@
+package cluster
+
+import "github.com/eda-go/adifo/internal/obs"
+
+// clusterMetrics instruments the coordinator's failure-handling
+// machinery — the part of the cluster that is invisible in results
+// (merges are bit-identical no matter how many retries it took) and
+// therefore only observable here: probe latency per backend, shards
+// re-placed after a backend death, backends excluded from placement,
+// and the cost of the final merge.
+type clusterMetrics struct {
+	reg *obs.Registry
+
+	probeSeconds *obs.HistogramVec // backend
+	shardRetries *obs.Counter
+	exclusions   *obs.CounterVec // backend
+	mergeSeconds *obs.Histogram
+	jobsTotal    *obs.CounterVec // status (terminal only)
+}
+
+func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
+	m := &clusterMetrics{reg: reg}
+	m.probeSeconds = reg.HistogramVec("adifo_cluster_probe_seconds",
+		"Health-probe round-trip time per backend (failed probes observe the timeout).",
+		nil, "backend")
+	m.shardRetries = reg.Counter("adifo_cluster_shard_retries_total",
+		"Shards re-placed on another backend after a loss (death, drain, eviction).")
+	m.exclusions = reg.CounterVec("adifo_cluster_backend_exclusions_total",
+		"Times a flapping backend was passed over during placement or probing.",
+		"backend")
+	m.mergeSeconds = reg.Histogram("adifo_cluster_merge_seconds",
+		"Time to merge all shard results into the final JobResult.", nil)
+	m.jobsTotal = reg.CounterVec("adifo_cluster_jobs_total",
+		"Cluster jobs reaching a terminal state, by status.", "status")
+	for _, st := range []string{"done", "failed", "cancelled"} {
+		m.jobsTotal.With(st)
+	}
+	return m
+}

@@ -1,0 +1,12 @@
+package obs
+
+import "runtime"
+
+// Version is the stack's build version, surfaced by `adifod -version`,
+// the adifo_build_info metric and the /v1/stats payload. Bumped once
+// per released change set.
+const Version = "0.6.0"
+
+// GoVersion returns the toolchain that built the binary, the second
+// label of adifo_build_info.
+func GoVersion() string { return runtime.Version() }

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// Logging: every component of the serving stack (service engine,
+// cluster coordinator, both binaries) logs through a *slog.Logger with
+// consistent key-value fields — "job", "kind", "backend", "shard" —
+// instead of free-form printf lines, so one grep (or one log pipeline
+// filter) follows a job across layers. The constructors here pin the
+// stack's one handler configuration; components accept any
+// *slog.Logger, so tests pass Nop() and embedders plug in their own
+// handler.
+
+// NewLogger returns a leveled text logger writing to w. Level may be a
+// plain slog.Level or a dynamic slog.LevelVar.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NewJSONLogger is NewLogger with JSON output, for deployments that
+// ship logs to a structured pipeline.
+func NewJSONLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Default is the stack's default logger: Info-level text on stderr.
+// Components whose config carries a nil logger fall back to it, so
+// diagnostics are never silently dropped.
+func Default() *slog.Logger {
+	return defaultLogger
+}
+
+var defaultLogger = NewLogger(os.Stderr, slog.LevelInfo)
+
+// Nop returns a logger that discards everything — the quiet mode tests
+// and benchmarks use so engine diagnostics don't pollute their output.
+func Nop() *slog.Logger { return nopLogger }
+
+var nopLogger = slog.New(nopHandler{})
+
+// nopHandler drops every record. The standard library gained
+// slog.DiscardHandler in Go 1.24; this five-liner keeps the package's
+// floor at the module's own go directive rather than the newest
+// stdlib.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// Or returns l, or the package default when l is nil — the one-line
+// config normalization every component shares.
+func Or(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return Default()
+	}
+	return l
+}

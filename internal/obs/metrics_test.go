@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the bucket assignment rule:
+// Prometheus buckets are upper-inclusive (le = "less than or equal"),
+// so a value exactly on a bound lands in that bound's bucket, and
+// anything above the last bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {0.05, 0}, {0.1, 0}, // on the bound: inclusive
+		{0.1000001, 1}, {1, 1},
+		{5, 2}, {10, 2},
+		{10.5, 3}, {math.Inf(1), 3}, // past the last bound: +Inf
+	}
+	for i, c := range cases {
+		before := h.buckets[c.bucket].Load()
+		h.Observe(c.v)
+		if got := h.buckets[c.bucket].Load(); got != before+1 {
+			t.Errorf("case %d: Observe(%v) did not land in bucket %d", i, c.v, c.bucket)
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+// TestHistogramExpositionCumulative checks that the rendered _bucket
+// lines are cumulative and end in +Inf == _count, the invariant every
+// Prometheus consumer assumes.
+func TestHistogramExpositionCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "test", []float64{1, 2})
+	for _, v := range []float64{0.5, 1.5, 1.7, 99} {
+		h.Observe(v)
+	}
+	out := scrape(t, r)
+	for _, want := range []string{
+		`t_seconds_bucket{le="1"} 1`,
+		`t_seconds_bucket{le="2"} 3`,
+		`t_seconds_bucket{le="+Inf"} 4`,
+		`t_seconds_sum 102.7`,
+		`t_seconds_count 4`,
+		`# TYPE t_seconds histogram`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Add(3)
+	g := r.Gauge("depth", "queue depth")
+	g.Set(2)
+	g.Inc()
+	g.Dec()
+	g.Dec()
+	v := r.CounterVec("jobs_total", "jobs", "kind", "status")
+	v.With("grade", "done").Add(7)
+	v.With("atpg", "failed").Inc()
+	r.GaugeFunc("up_seconds", "uptime", func() float64 { return 1.5 })
+	r.CounterFunc("hits_total", "cache hits", func() uint64 { return 42 })
+	bi := r.GaugeVec("build_info", "build", "version")
+	bi.With(`weird"v\1`).Set(1)
+
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# HELP reqs_total requests\n# TYPE reqs_total counter\nreqs_total 3",
+		"depth 1",
+		`jobs_total{kind="grade",status="done"} 7`,
+		`jobs_total{kind="atpg",status="failed"} 1`,
+		"up_seconds 1.5",
+		"hits_total 42",
+		`build_info{version="weird\"v\\1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpositionLinesWellFormed runs every line of a populated
+// registry through the same shape check the CI scrape step applies:
+// HELP/TYPE comments or `name{labels} value` samples, nothing else.
+func TestExpositionLinesWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Inc()
+	hv := r.HistogramVec("lat_seconds", "latency", nil, "kind")
+	hv.With("grade").Observe(0.2)
+	r.GaugeVec("info", "i", "version", "goversion").With("0.6.0", GoVersion()).Set(1)
+
+	for _, line := range strings.Split(strings.TrimRight(scrape(t, r), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("sample line %q is not `series value`", line)
+			continue
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("unbalanced label braces in %q", line)
+			}
+			name = name[:i]
+		}
+		for _, ch := range name {
+			if !(ch == '_' || ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch >= '0' && ch <= '9') {
+				t.Errorf("bad metric name in %q", line)
+				break
+			}
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x again")
+}
+
+// TestVecConcurrency hammers one family from many goroutines — the
+// pattern of per-kind counters updated by concurrent jobs — and checks
+// nothing is lost (run under -race in CI).
+func TestVecConcurrency(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("ops_total", "ops", "kind")
+	h := r.Histogram("obs_seconds", "obs", []float64{0.5})
+	g := r.Gauge("g", "g")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := []string{"grade", "atpg", "adi_order"}[w%3]
+			for i := 0; i < per; i++ {
+				v.With(kind).Inc()
+				h.Observe(float64(i%2) * 0.9)
+				g.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := uint64(0)
+	for _, k := range []string{"grade", "atpg", "adi_order"} {
+		total += v.With(k).Value()
+	}
+	if total != workers*per {
+		t.Errorf("counter lost updates: %d, want %d", total, workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram lost updates: %d, want %d", h.Count(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge lost updates: %v, want %d", g.Value(), workers*per)
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	// Must not panic and must report disabled at every level.
+	l := Nop()
+	l.Info("dropped", "k", "v")
+	l.Error("dropped too")
+	if h := l.Handler(); h.Enabled(t.Context(), 12) {
+		t.Error("nop handler claims to be enabled")
+	}
+	if Or(nil) == nil || Or(l) != l {
+		t.Error("Or normalization broken")
+	}
+}

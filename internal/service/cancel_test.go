@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"github.com/eda-go/adifo/internal/obs"
 	"strings"
 	"testing"
 	"time"
@@ -61,7 +62,7 @@ func waitState(t *testing.T, s *Service, id, want string) JobStatus {
 // reaches the cancelled terminal state with its subscribers closed,
 // having simulated only a prefix of the vectors.
 func TestCancelRunningJob(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	id, err := s.Submit(slowSpec())
 	if err != nil {
@@ -113,7 +114,7 @@ closed:
 // cancels a queued one: it must reach cancelled immediately, without
 // ever running, and the pool slot must go to the next submission.
 func TestCancelQueuedJob(t *testing.T) {
-	s := New(Config{MaxConcurrentJobs: 1})
+	s := New(Config{Logger: obs.Nop(), MaxConcurrentJobs: 1})
 	defer s.Close()
 	blocker, err := s.Submit(slowSpec())
 	if err != nil {
@@ -158,7 +159,7 @@ func TestCancelQueuedJob(t *testing.T) {
 // circuit entry was (or is being) built and checks the registry still
 // serves the entry to the next identical submission, which completes.
 func TestRegistryConsistentAfterCancelledBuild(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	spec := slowSpec()
 	first, err := s.Submit(spec)
@@ -186,7 +187,7 @@ func TestRegistryConsistentAfterCancelledBuild(t *testing.T) {
 }
 
 func TestCancelErrors(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	if _, err := s.Cancel("j999"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("cancel unknown job = %v, want ErrNotFound", err)
@@ -206,7 +207,7 @@ func TestCancelErrors(t *testing.T) {
 }
 
 func TestSubmitRejectsEmptyMode(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	_, err := s.Submit(JobSpec{
 		Circuit:  "c17",

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"github.com/eda-go/adifo/internal/obs"
 	"testing"
 )
 
@@ -23,7 +24,7 @@ func FuzzJobSpecValidate(f *testing.F) {
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`{"circuit":"c17","patterns":{"random":{"n":-1,"seed":0}}}`))
 
-	s := New(Config{SimWorkers: 8})
+	s := New(Config{Logger: obs.Nop(), SimWorkers: 8})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var spec JobSpec
 		dec := json.NewDecoder(bytes.NewReader(data))

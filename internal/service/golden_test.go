@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"github.com/eda-go/adifo/internal/obs"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -88,7 +89,7 @@ func TestGoldenKindlessSpecGradesAsBefore(t *testing.T) {
 		t.Fatalf("kind-less spec normalized to %q, want grade", NormalizeKind(spec.Kind))
 	}
 
-	s := New(Config{SimWorkers: 4})
+	s := New(Config{Logger: obs.Nop(), SimWorkers: 4})
 	defer s.Close()
 	id, err := s.Submit(spec)
 	if err != nil {
@@ -102,6 +103,10 @@ func TestGoldenKindlessSpecGradesAsBefore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Timing is wall-clock and changes every run; the fixture pins the
+	// deterministic payload. omitempty makes the nil'd field vanish, so
+	// the pre-timing bytes still match — the additive-wire guarantee.
+	res.Timing = nil
 	checkGolden(t, "jobresult_grade_v1.json", marshalCanonical(t, res))
 }
 
@@ -190,7 +195,7 @@ func TestGoldenStatusAndStreamShapes(t *testing.T) {
 // fixed (SimWorkers) so messages carrying server bounds are
 // deterministic.
 func TestGoldenErrorEnvelopes(t *testing.T) {
-	s := New(Config{SimWorkers: 4, Kinds: []string{KindGrade}})
+	s := New(Config{Logger: obs.Nop(), SimWorkers: 4, Kinds: []string{KindGrade}})
 	defer s.Close()
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()

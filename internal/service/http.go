@@ -76,6 +76,8 @@ type errorEnvelope struct {
 //	                            job reaches a terminal state (the last
 //	                            line is the final JobStatus)
 //	GET    /v1/stats            service and registry cache counters
+//	GET    /metrics             Prometheus text exposition of the
+//	                            service metrics
 //	GET    /healthz             liveness probe
 //
 // Every non-2xx response is the error envelope
@@ -90,6 +92,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.metrics.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -98,12 +101,15 @@ func (s *Service) Handler() http.Handler {
 
 // writeJSON encodes v as the response body. Encode failures cannot be
 // reported to the peer (the status line is already written) but are
-// not swallowed either: they reach the service's configured logger.
+// not swallowed either: they reach the service's configured logger and
+// the adifo_http_write_errors_total counter, so a flapping client or a
+// broken payload type shows up on a dashboard, not only in logs.
 func (s *Service) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.logf("service: encoding HTTP %d response: %v", code, err)
+		s.met.writeErrors.Inc()
+		s.logger.Warn("encoding response body failed", "status", code, "err", err)
 	}
 }
 
@@ -219,14 +225,16 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				if st, ok := s.Status(id); ok {
 					if err := enc.Encode(st); err != nil {
-						s.logf("service: encoding final stream status for %s: %v", id, err)
+						s.met.writeErrors.Inc()
+						s.logger.Warn("encoding final stream status failed", "job", id, "err", err)
 					}
 				}
 				flush()
 				return
 			}
 			if err := enc.Encode(ev); err != nil {
-				s.logf("service: encoding stream event for %s: %v", id, err)
+				s.met.writeErrors.Inc()
+				s.logger.Warn("encoding stream event failed", "job", id, "err", err)
 				return
 			}
 			flush()

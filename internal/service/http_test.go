@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"github.com/eda-go/adifo/internal/obs"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -77,7 +78,7 @@ func pollDone(t *testing.T, srv *httptest.Server, id string) JobStatus {
 // resubmit the identical request and verify the registry cache hits
 // via the exposed counters.
 func TestHTTPEndToEnd(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
@@ -155,7 +156,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 }
 
 func TestHTTPStream(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
@@ -204,7 +205,7 @@ func TestHTTPStream(t *testing.T) {
 }
 
 func TestHTTPErrors(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
@@ -292,7 +293,7 @@ func doDelete(t *testing.T, url string) *http.Response {
 // TestHTTPErrorEnvelope checks that every error path speaks the typed
 // {"error": {"code", "message"}} contract.
 func TestHTTPErrorEnvelope(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
@@ -328,7 +329,7 @@ func TestHTTPErrorEnvelope(t *testing.T) {
 // watch its stream terminate with a cancelled status, and check the
 // conflict envelopes for result-after-cancel and cancel-after-done.
 func TestHTTPCancel(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()

@@ -37,7 +37,9 @@ func (atpgKind) run(s *Service, j *job) (any, error) {
 	}
 	// Validated at submit.
 	kind, _ := cli.ParseOrder(j.spec.Order.Kind)
+	stopOrder := j.phase(PhaseOrder)
 	order := ix.Order(kind)
+	stopOrder()
 
 	var gspec GenSpec
 	if j.spec.Gen != nil {
@@ -47,11 +49,13 @@ func (atpgKind) run(s *Service, j *job) (any, error) {
 	j.status.Targets = len(order)
 	j.mu.Unlock()
 
+	stopGen := j.phase(PhaseGenerate)
 	gres, err := tgen.GenerateContext(j.ctx, entry.Faults, order, tgen.Options{
 		FillSeed:       gspec.FillSeed,
 		BacktrackLimit: gspec.BacktrackLimit,
 		Progress:       func(p tgen.Progress) { j.publishGen(p) },
 	})
+	stopGen()
 	if err != nil {
 		return nil, err
 	}
@@ -124,4 +128,7 @@ type AtpgResult struct {
 	Detected int     `json:"detected"`
 	Coverage float64 `json:"coverage"`
 	AVE      float64 `json:"ave"`
+	// Timing is the job's wall-clock record, attached by the engine at
+	// the terminal transition.
+	Timing *Timing `json:"timing,omitempty"`
 }

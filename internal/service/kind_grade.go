@@ -87,6 +87,7 @@ func (gradeKind) run(s *Service, j *job) (any, error) {
 	// them would do strictly more work than the simulator's lazy
 	// per-block path, so the cache is reserved for runs that visit
 	// every block.
+	stopSim := j.phase(PhaseSimulate)
 	var good *fsim.Good
 	if opts.Mode != fsim.Drop && opts.StopAtCoverage == 0 {
 		good = s.reg.Good(entry, patternKey, ps)
@@ -97,6 +98,7 @@ func (gradeKind) run(s *Service, j *job) (any, error) {
 		Good:     good,
 		Progress: func(p fsim.Progress) { j.publish(p) },
 	})
+	stopSim()
 	if err != nil {
 		return nil, err
 	}

@@ -35,8 +35,10 @@ func (adiOrderKind) run(s *Service, j *job) (any, error) {
 	}
 	// Validated at submit.
 	kind, _ := cli.ParseOrder(j.spec.Order.Kind)
+	stopOrder := j.phase(PhaseOrder)
 	perm := ix.Order(kind)
 	mn, mx := ix.MinMax()
+	stopOrder()
 
 	out := &OrderResult{
 		ID:          j.id,
@@ -97,4 +99,7 @@ type OrderResult struct {
 	Ndet []int `json:"ndet"`
 	// Names[f] is the display name of collapsed fault f.
 	Names []string `json:"names,omitempty"`
+	// Timing is the job's wall-clock record, attached by the engine at
+	// the terminal transition.
+	Timing *Timing `json:"timing,omitempty"`
 }

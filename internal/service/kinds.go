@@ -129,6 +129,7 @@ func validateOrderedSpec(spec JobSpec) error {
 // not the registry build: the entry stays cached and consistent for
 // the next submission of the same circuit.
 func (s *Service) prepare(j *job) (entry *CircuitEntry, ps *logic.PatternSet, patternKey string, err error) {
+	defer j.phase(PhaseRegistryBuild)()
 	entry, err = s.reg.CircuitFor(j.spec)
 	if err != nil {
 		return nil, nil, "", err
@@ -164,6 +165,7 @@ func (s *Service) computeIndex(j *job) (*CircuitEntry, *adi.Index, error) {
 	j.status.Active = entry.Faults.Len()
 	j.mu.Unlock()
 
+	stopSim := j.phase(PhaseSimulate)
 	good := s.reg.Good(entry, patternKey, ps)
 	res, err := fsim.RunParallelCtx(j.ctx, entry.Faults, ps, fsim.ParallelOptions{
 		Options:  fsim.Options{Mode: fsim.NoDrop},
@@ -171,10 +173,14 @@ func (s *Service) computeIndex(j *job) (*CircuitEntry, *adi.Index, error) {
 		Good:     good,
 		Progress: func(p fsim.Progress) { j.publish(p) },
 	})
+	stopSim()
 	if err != nil {
 		return nil, nil, err
 	}
-	return entry, adi.FromResult(res, ps), nil
+	stopOrder := j.phase(PhaseOrder)
+	ix := adi.FromResult(res, ps)
+	stopOrder()
+	return entry, ix, nil
 }
 
 // jobWorkers resolves a job's shard worker count: the spec's override

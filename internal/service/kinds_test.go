@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"github.com/eda-go/adifo/internal/obs"
 	"reflect"
 	"testing"
 	"time"
@@ -32,7 +33,7 @@ func waitTerminal(t *testing.T, s *Service, id string) JobStatus {
 }
 
 func TestSubmitUnsupportedKind(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	_, err := s.Submit(JobSpec{
 		Kind:     "mine_bitcoin",
@@ -48,7 +49,7 @@ func TestSubmitUnsupportedKind(t *testing.T) {
 // subset of workloads; other kinds get the same typed rejection as
 // unknown ones.
 func TestSubmitKindRestricted(t *testing.T) {
-	s := New(Config{Kinds: []string{KindGrade}})
+	s := New(Config{Logger: obs.Nop(), Kinds: []string{KindGrade}})
 	defer s.Close()
 	_, err := s.Submit(JobSpec{
 		Kind:     KindAtpg,
@@ -77,7 +78,7 @@ func TestSubmitKindRestricted(t *testing.T) {
 // TestKindValidation: the kind-specific spec constraints reject
 // mis-assembled specs at submit time with actionable messages.
 func TestKindValidation(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	pat := PatternSpec{Random: &RandomSpec{N: 8, Seed: 1}}
 	cases := []struct {
@@ -110,7 +111,7 @@ func TestKindValidation(t *testing.T) {
 // TestADIOrderJobMatchesLibrary: an adi_order job returns exactly what
 // the in-process adi computation derives, for every order kind.
 func TestADIOrderJobMatchesLibrary(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	entry, err := s.Registry().CircuitFor(JobSpec{Circuit: "c17"})
 	if err != nil {
@@ -163,7 +164,7 @@ func TestADIOrderJobMatchesLibrary(t *testing.T) {
 // bit-identical to the in-process ADI + ordered-generation flow.
 func TestAtpgJobMatchesLibrary(t *testing.T) {
 	const fillSeed = 12345
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	entry, err := s.Registry().CircuitFor(JobSpec{Circuit: "c17"})
 	if err != nil {
@@ -222,7 +223,7 @@ func TestAtpgJobMatchesLibrary(t *testing.T) {
 // ADI phase and per-target events during generation, and the status
 // carries the generation counters at completion.
 func TestAtpgProgressStream(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	id, err := s.Submit(JobSpec{
 		Kind:     KindAtpg,
@@ -272,7 +273,7 @@ func TestAtpgProgressStream(t *testing.T) {
 // TestAtpgJobCancel: a running atpg job cancels at a target barrier
 // and reports the cancelled terminal state.
 func TestAtpgJobCancel(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	// irs circuits take long enough to cancel reliably mid-run.
 	id, err := s.Submit(JobSpec{
@@ -299,7 +300,7 @@ func TestAtpgJobCancel(t *testing.T) {
 // over the same (circuit, patterns) pair share one good-machine
 // simulation through the registry.
 func TestGoodCacheSharedAcrossKinds(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	pat := PatternSpec{Random: &RandomSpec{N: 128, Seed: 9}}
 	id1, err := s.Submit(JobSpec{Circuit: "c17", Mode: "nodrop", Patterns: pat})

@@ -33,11 +33,13 @@ func (c *lruCache[V]) get(key string) (V, bool) {
 	return zero, false
 }
 
-func (c *lruCache[V]) put(key string, v V) {
+// put inserts or refreshes key and reports whether another entry was
+// evicted to make room (the registry counts those).
+func (c *lruCache[V]) put(key string, v V) (evicted bool) {
 	if it, ok := c.m[key]; ok {
 		c.seq++
 		it.v, it.used = v, c.seq
-		return
+		return false
 	}
 	if len(c.m) >= c.cap {
 		var oldest string
@@ -48,9 +50,11 @@ func (c *lruCache[V]) put(key string, v V) {
 			}
 		}
 		delete(c.m, oldest)
+		evicted = true
 	}
 	c.seq++
 	c.m[key] = &lruItem[V]{v: v, used: c.seq}
+	return evicted
 }
 
 func (c *lruCache[V]) delete(key string) { delete(c.m, key) }

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"github.com/eda-go/adifo/internal/obs"
+)
+
+// Terminal status label values of the adifo_jobs_total metric.
+var terminalStatuses = []string{StateDone, StateFailed, StateCancelled}
+
+// serviceMetrics bundles the engine's instruments. Hot-path updates
+// are single atomic operations; everything derivable at scrape time
+// (uptime, the registry's cache counters) is a *Func metric so no hot
+// path pays for it twice.
+type serviceMetrics struct {
+	reg *obs.Registry
+
+	jobsSubmitted *obs.CounterVec // kind
+	jobsTotal     *obs.CounterVec // kind, status (terminal only)
+	jobsQueued    *obs.Gauge
+	jobsRunning   *obs.Gauge
+	queueWait     *obs.HistogramVec // kind
+	duration      *obs.HistogramVec // kind
+	simBlocks     *obs.Counter
+	writeErrors   *obs.Counter
+	draining      *obs.Gauge
+}
+
+// newServiceMetrics registers the engine's metric families on reg and
+// pre-creates every (kind, status) series, so a scrape of a fresh
+// server already exposes the full catalog at zero — dashboards and the
+// golden exposition test see a deterministic series set regardless of
+// which kinds have run.
+func newServiceMetrics(reg *obs.Registry, s *Service) *serviceMetrics {
+	m := &serviceMetrics{reg: reg}
+
+	reg.GaugeVec("adifo_build_info",
+		"Build metadata; value is always 1.",
+		"version", "goversion").With(obs.Version, obs.GoVersion()).Set(1)
+	reg.GaugeFunc("adifo_uptime_seconds",
+		"Seconds since the service was constructed.",
+		func() float64 { return s.now().Sub(s.start).Seconds() })
+
+	m.jobsSubmitted = reg.CounterVec("adifo_jobs_submitted_total",
+		"Jobs accepted by Submit, by kind.", "kind")
+	m.jobsTotal = reg.CounterVec("adifo_jobs_total",
+		"Jobs reaching a terminal state, by kind and status.", "kind", "status")
+	m.jobsQueued = reg.Gauge("adifo_jobs_queued",
+		"Jobs accepted but not yet claimed by a pool slot.")
+	m.jobsRunning = reg.Gauge("adifo_jobs_running",
+		"Jobs currently holding a pool slot.")
+	m.queueWait = reg.HistogramVec("adifo_queue_wait_seconds",
+		"Time from Submit to claiming a pool slot, by kind.", nil, "kind")
+	m.duration = reg.HistogramVec("adifo_job_duration_seconds",
+		"Run time of completed jobs (claim to done), by kind.", nil, "kind")
+	m.simBlocks = reg.Counter("adifo_sim_blocks_total",
+		"64-pattern simulation blocks completed across all jobs (rate = blocks/sec).")
+	m.writeErrors = reg.Counter("adifo_http_write_errors_total",
+		"HTTP response bodies that failed to encode after the status line was sent.")
+	m.draining = reg.Gauge("adifo_draining",
+		"1 once Drain has been called, 0 before.")
+
+	for _, kind := range KindNames() {
+		m.jobsSubmitted.With(kind)
+		m.queueWait.With(kind)
+		m.duration.With(kind)
+		for _, st := range terminalStatuses {
+			m.jobsTotal.With(kind, st)
+		}
+	}
+
+	// The registry cache owns its counters; expose them as scrape-time
+	// functions instead of double-counting on the lookup path.
+	stats := func(pick func(RegistryStats) uint64) func() uint64 {
+		return func() uint64 { return pick(s.reg.Stats()) }
+	}
+	reg.CounterFunc("adifo_registry_circuit_hits_total",
+		"Circuit cache lookups served from cache.",
+		stats(func(r RegistryStats) uint64 { return r.CircuitHits }))
+	reg.CounterFunc("adifo_registry_circuit_misses_total",
+		"Circuit cache lookups that had to build (parse, levelize, collapse).",
+		stats(func(r RegistryStats) uint64 { return r.CircuitMisses }))
+	reg.CounterFunc("adifo_registry_circuit_evictions_total",
+		"Circuit cache entries evicted by the LRU.",
+		stats(func(r RegistryStats) uint64 { return r.CircuitEvictions }))
+	reg.CounterFunc("adifo_registry_good_hits_total",
+		"Good-machine cache lookups served from cache.",
+		stats(func(r RegistryStats) uint64 { return r.GoodHits }))
+	reg.CounterFunc("adifo_registry_good_misses_total",
+		"Good-machine cache lookups that had to simulate.",
+		stats(func(r RegistryStats) uint64 { return r.GoodMisses }))
+	reg.CounterFunc("adifo_registry_good_evictions_total",
+		"Good-machine cache entries evicted by the LRU.",
+		stats(func(r RegistryStats) uint64 { return r.GoodEvictions }))
+	reg.GaugeFunc("adifo_registry_circuits",
+		"Circuit cache entries currently resident.",
+		func() float64 { return float64(s.reg.Stats().Circuits) })
+	reg.GaugeFunc("adifo_registry_goods",
+		"Good-machine cache entries currently resident.",
+		func() float64 { return float64(s.reg.Stats().Goods) })
+
+	return m
+}

@@ -1,0 +1,337 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/eda-go/adifo/internal/obs"
+)
+
+// runOneOfEachKind drives one job of every kind to done, so every
+// pre-registered series has been exercised at least once.
+func runOneOfEachKind(t *testing.T, s *Service) {
+	t.Helper()
+	specs := []JobSpec{
+		{Circuit: "c17", Mode: "nodrop", Patterns: PatternSpec{Random: &RandomSpec{N: 128, Seed: 1}}},
+		{Kind: KindAtpg, Circuit: "c17", Patterns: PatternSpec{Random: &RandomSpec{N: 96, Seed: 2}}, Order: &OrderSpec{Kind: "dynm"}},
+		{Kind: KindADIOrder, Circuit: "c17", Patterns: PatternSpec{Random: &RandomSpec{N: 96, Seed: 3}}, Order: &OrderSpec{Kind: "orig"}},
+	}
+	for _, spec := range specs {
+		id, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitTerminal(t, s, id); st.State != StateDone {
+			t.Fatalf("%s job ended %s: %s", st.Kind, st.State, st.Error)
+		}
+	}
+}
+
+// scrapeText GETs /metrics through the real HTTP mux and returns the
+// exposition body.
+func scrapeText(t *testing.T, s *Service) string {
+	t.Helper()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type %q is not the text exposition format", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+var (
+	goversionRe = regexp.MustCompile(`goversion="[^"]*"`)
+	versionRe   = regexp.MustCompile(`version="[^"]*"`)
+)
+
+// normalizeExposition keeps every structural byte of the exposition —
+// family order, HELP and TYPE lines, series names, label sets — and
+// replaces only what legitimately varies between runs: sample values,
+// and the build_info version labels.
+func normalizeExposition(text string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			out = append(out, line)
+		default:
+			i := strings.LastIndexByte(line, ' ')
+			series := goversionRe.ReplaceAllString(line[:i], `goversion="GO"`)
+			series = versionRe.ReplaceAllString(series, `version="V"`)
+			out = append(out, series+" V")
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestMetricsExpositionGolden pins the /metrics catalog: after one job
+// of each kind, the scrape must expose exactly the golden set of
+// families and series (names, types, help, labels, bucket boundaries),
+// in the same order. Values are normalized away — the catalog is the
+// contract, the numbers are the payload. Regenerate with -update.
+func TestMetricsExpositionGolden(t *testing.T) {
+	s := New(Config{Logger: obs.Nop(), SimWorkers: 2})
+	defer s.Close()
+	runOneOfEachKind(t, s)
+	got := normalizeExposition(scrapeText(t, s))
+	checkGolden(t, "metrics_v1.txt", []byte(got))
+}
+
+// metricValue sums the values of all sample lines whose series name
+// (with labels) starts with prefix.
+func metricValue(t *testing.T, text, prefix string) float64 {
+	t.Helper()
+	sum, found := 0.0, false
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		// Exact series only: the next byte must terminate the name.
+		if rest[0] != ' ' && rest[0] != '{' {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	if !found {
+		t.Fatalf("no series matching %q in exposition", prefix)
+	}
+	return sum
+}
+
+// TestMetricsCountJobs: the job counters and occupancy gauges track a
+// known workload exactly.
+func TestMetricsCountJobs(t *testing.T) {
+	s := New(Config{Logger: obs.Nop(), SimWorkers: 2})
+	defer s.Close()
+	runOneOfEachKind(t, s)
+
+	// A failed job (bad circuit, fails at run) and a cancelled one.
+	failID, err := s.Submit(JobSpec{Circuit: "no-such-circuit", Mode: "nodrop",
+		Patterns: PatternSpec{Random: &RandomSpec{N: 64, Seed: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, failID)
+	cancelID, err := s.Submit(slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, cancelID, StateRunning)
+	if _, err := s.Cancel(cancelID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, cancelID)
+
+	text := scrapeText(t, s)
+	for series, want := range map[string]float64{
+		`adifo_jobs_submitted_total{kind="grade"}`:          3, // incl. failed + cancelled
+		`adifo_jobs_submitted_total{kind="atpg"}`:           1,
+		`adifo_jobs_submitted_total{kind="adi_order"}`:      1,
+		`adifo_jobs_total{kind="grade",status="done"}`:      1,
+		`adifo_jobs_total{kind="grade",status="failed"}`:    1,
+		`adifo_jobs_total{kind="grade",status="cancelled"}`: 1,
+		`adifo_jobs_total{kind="atpg",status="done"}`:       1,
+		`adifo_jobs_total{kind="adi_order",status="done"}`:  1,
+		`adifo_jobs_queued`:                                 0,
+		`adifo_jobs_running`:                                0,
+		`adifo_queue_wait_seconds_count{kind="grade"}`:      3,
+		`adifo_job_duration_seconds_count{kind="grade"}`:    1, // done jobs only
+		`adifo_build_info`:                                  1,
+		`adifo_draining`:                                    0,
+	} {
+		if got := metricValue(t, text, series); got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	if got := metricValue(t, text, "adifo_sim_blocks_total"); got < 1 {
+		t.Errorf("adifo_sim_blocks_total = %v, want >= 1", got)
+	}
+	if got := metricValue(t, text, "adifo_uptime_seconds"); got <= 0 {
+		t.Errorf("adifo_uptime_seconds = %v, want > 0", got)
+	}
+}
+
+// TestTimingAllKinds: every kind's status and result carry the timing
+// record, with the phases that kind actually runs.
+func TestTimingAllKinds(t *testing.T) {
+	s := New(Config{Logger: obs.Nop(), SimWorkers: 2})
+	defer s.Close()
+
+	cases := []struct {
+		spec   JobSpec
+		phases []string
+	}{
+		{
+			JobSpec{Circuit: "c17", Mode: "nodrop", Patterns: PatternSpec{Random: &RandomSpec{N: 128, Seed: 1}}},
+			[]string{PhaseRegistryBuild, PhaseSimulate},
+		},
+		{
+			JobSpec{Kind: KindAtpg, Circuit: "c17", Patterns: PatternSpec{Random: &RandomSpec{N: 96, Seed: 2}}, Order: &OrderSpec{Kind: "dynm"}},
+			[]string{PhaseRegistryBuild, PhaseSimulate, PhaseOrder, PhaseGenerate},
+		},
+		{
+			JobSpec{Kind: KindADIOrder, Circuit: "c17", Patterns: PatternSpec{Random: &RandomSpec{N: 96, Seed: 3}}, Order: &OrderSpec{Kind: "orig"}},
+			[]string{PhaseRegistryBuild, PhaseSimulate, PhaseOrder},
+		},
+	}
+	for _, c := range cases {
+		kind := NormalizeKind(c.spec.Kind)
+		id, err := s.Submit(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := waitTerminal(t, s, id)
+		if st.State != StateDone {
+			t.Fatalf("%s job ended %s: %s", kind, st.State, st.Error)
+		}
+		if st.Timing == nil {
+			t.Fatalf("%s status has no timing", kind)
+		}
+		tm := st.Timing
+		if tm.SubmittedAt.IsZero() || tm.StartedAt.IsZero() || tm.FinishedAt.IsZero() {
+			t.Fatalf("%s timing has zero timestamps: %+v", kind, tm)
+		}
+		if tm.StartedAt.Before(tm.SubmittedAt) || tm.FinishedAt.Before(tm.StartedAt) {
+			t.Fatalf("%s timestamps out of order: %+v", kind, tm)
+		}
+		if tm.QueueWaitSeconds < 0 || tm.RunSeconds <= 0 {
+			t.Fatalf("%s durations implausible: queue %v run %v", kind, tm.QueueWaitSeconds, tm.RunSeconds)
+		}
+		for _, ph := range c.phases {
+			if _, ok := tm.Phases[ph]; !ok {
+				t.Errorf("%s timing lacks phase %q: %v", kind, ph, tm.Phases)
+			}
+		}
+		if len(tm.Phases) != len(c.phases) {
+			t.Errorf("%s recorded phases %v, want exactly %v", kind, tm.Phases, c.phases)
+		}
+
+		// The result must carry the same record.
+		v, err := s.ResultAny(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rt *Timing
+		switch r := v.(type) {
+		case *JobResult:
+			rt = r.Timing
+		case *AtpgResult:
+			rt = r.Timing
+		case *OrderResult:
+			rt = r.Timing
+		default:
+			t.Fatalf("%s result is %T", kind, v)
+		}
+		if rt == nil || !rt.FinishedAt.Equal(tm.FinishedAt) {
+			t.Fatalf("%s result timing %+v does not match status %+v", kind, rt, tm)
+		}
+	}
+}
+
+// TestTimingDeterministicClock pins the arithmetic with a stepped fake
+// clock at the unit level: phase stopwatches accumulate, finalize
+// computes the run duration and attaches the snapshot to the result.
+func TestTimingDeterministicClock(t *testing.T) {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tick := 0
+	clock := func() time.Time { // every call advances one second
+		tick++
+		return base.Add(time.Duration(tick-1) * time.Second)
+	}
+	j := &job{id: "t1", now: clock}
+	j.timing.SubmittedAt = clock() // t=0
+	j.timing.StartedAt = clock()   // t=1
+	j.timing.QueueWaitSeconds = j.timing.StartedAt.Sub(j.timing.SubmittedAt).Seconds()
+
+	stop := j.phase(PhaseSimulate) // starts t=2
+	stop()                         // stops t=3: 1s
+	stop = j.phase(PhaseOrder)     // t=4
+	stop()                         // t=5: 1s
+	stop = j.phase(PhaseOrder)     // t=6
+	stop()                         // t=7: accumulates to 2s
+
+	res := &JobResult{ID: "t1"}
+	j.result = res
+	j.mu.Lock()
+	j.finalizeLocked() // t=8
+	j.mu.Unlock()
+
+	tm := res.Timing
+	if tm == nil {
+		t.Fatal("finalize did not attach timing to the result")
+	}
+	if tm.QueueWaitSeconds != 1 {
+		t.Errorf("queue wait %v, want 1s", tm.QueueWaitSeconds)
+	}
+	if tm.RunSeconds != 7 { // t=8 - t=1
+		t.Errorf("run %v, want 7s", tm.RunSeconds)
+	}
+	if tm.Phases[PhaseSimulate] != 1 || tm.Phases[PhaseOrder] != 2 {
+		t.Errorf("phases %v, want simulate 1s, order 2s (accumulated)", tm.Phases)
+	}
+	// The snapshot is independent of the job's live record.
+	j.timing.AddPhase(PhaseSimulate, time.Second)
+	if tm.Phases[PhaseSimulate] != 1 {
+		t.Error("result timing aliases the job's live phase map")
+	}
+}
+
+// TestPprofLabelsOnRunningJob: the engine runs every job under pprof
+// labels, so any profile taken mid-run — CPU, goroutine — attributes
+// its samples to (kind, job). The goroutine profile makes that
+// assertable without sampling flakiness.
+func TestPprofLabelsOnRunningJob(t *testing.T) {
+	s := New(Config{Logger: obs.Nop(), SimWorkers: 2})
+	defer s.Close()
+	id, err := s.Submit(slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, id, StateRunning)
+	defer s.Cancel(id)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var buf bytes.Buffer
+		if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+			t.Fatal(err)
+		}
+		prof := buf.String()
+		if strings.Contains(prof, `"kind":"grade"`) && strings.Contains(prof, `"job":"`+id+`"`) {
+			return
+		}
+		if st, _ := s.Status(id); st.State != StateRunning {
+			t.Fatalf("job left running state (%s) before labels were observed", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no goroutine labeled kind=grade job=%s found in profile:\n%s", id, prof)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

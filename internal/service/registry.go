@@ -33,8 +33,13 @@ type RegistryStats struct {
 	CircuitMisses uint64 `json:"circuit_misses"`
 	GoodHits      uint64 `json:"good_hits"`
 	GoodMisses    uint64 `json:"good_misses"`
-	Circuits      int    `json:"circuits"`
-	Goods         int    `json:"goods"`
+	// CircuitEvictions and GoodEvictions count entries pushed out by
+	// the LRU — a rising rate means the cache capacity is undersized
+	// for the working set and rebuild cost is being paid repeatedly.
+	CircuitEvictions uint64 `json:"circuit_evictions"`
+	GoodEvictions    uint64 `json:"good_evictions"`
+	Circuits         int    `json:"circuits"`
+	Goods            int    `json:"goods"`
 }
 
 // Registry caches parsed circuits (with their collapsed fault lists)
@@ -106,7 +111,9 @@ func (r *Registry) Circuit(key string, build func() (*circuit.Circuit, error)) (
 	} else {
 		r.stats.CircuitMisses++
 		slot = &circuitSlot{}
-		r.circuits.put(key, slot)
+		if r.circuits.put(key, slot) {
+			r.stats.CircuitEvictions++
+		}
 	}
 	r.mu.Unlock()
 
@@ -165,7 +172,9 @@ func (r *Registry) Good(entry *CircuitEntry, patternKey string, ps *logic.Patter
 	} else {
 		r.stats.GoodMisses++
 		slot = &goodSlot{}
-		r.goods.put(key, slot)
+		if r.goods.put(key, slot) {
+			r.stats.GoodEvictions++
+		}
 	}
 	r.mu.Unlock()
 

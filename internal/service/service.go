@@ -27,12 +27,15 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"log"
+	"log/slog"
 	"runtime"
+	"runtime/pprof"
 	"sync"
+	"time"
 
 	"github.com/eda-go/adifo/internal/fsim"
 	"github.com/eda-go/adifo/internal/logic"
+	"github.com/eda-go/adifo/internal/obs"
 	"github.com/eda-go/adifo/internal/prng"
 	"github.com/eda-go/adifo/internal/tgen"
 )
@@ -60,10 +63,13 @@ type Config struct {
 	// workload (e.g. grade-only backends behind a cluster
 	// coordinator).
 	Kinds []string
-	// Logf receives diagnostics the service cannot surface to any
+	// Logger receives diagnostics the service cannot surface to any
 	// caller, such as response-encoding failures after the status line
-	// was sent (default log.Printf).
-	Logf func(format string, args ...any)
+	// was sent. Records carry structured fields ("job", "kind") rather
+	// than formatted strings. Nil selects the stack default (Info-level
+	// text on stderr); tests and benchmarks pass obs.Nop() for quiet
+	// runs.
+	Logger *slog.Logger
 }
 
 // JobSpec is a job request. Exactly one of Circuit (a named embedded
@@ -193,6 +199,11 @@ type JobStatus struct {
 	// Faults then counts only the shard's faults.
 	FaultShard *FaultShard `json:"fault_shard,omitempty"`
 
+	// Timing is the job's wall-clock record: submit/start/finish
+	// timestamps, queue wait, and per-phase durations. Additive to the
+	// v1 wire — servers predating it simply omit the field.
+	Timing *Timing `json:"timing,omitempty"`
+
 	Error string `json:"error,omitempty"`
 }
 
@@ -244,6 +255,10 @@ type JobResult struct {
 	Ndet []int `json:"ndet"`
 	// PerFault is indexed by collapsed fault index.
 	PerFault []FaultResult `json:"per_fault"`
+	// Timing is the job's wall-clock record, attached by the engine at
+	// the terminal transition (merged cluster results carry the merge
+	// phase instead of a single server's run).
+	Timing *Timing `json:"timing,omitempty"`
 }
 
 // FaultResult is the per-fault grading outcome.
@@ -266,6 +281,11 @@ type Stats struct {
 	JobsCancelled uint64        `json:"jobs_cancelled"`
 	JobsRunning   int           `json:"jobs_running"`
 	JobsQueued    int           `json:"jobs_queued"`
+	// UptimeSeconds is the service's age; Version the build version —
+	// the same values the adifo_uptime_seconds and adifo_build_info
+	// metrics expose.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Version       string  `json:"version"`
 }
 
 // Errors returned by Submit, Result and Cancel.
@@ -281,10 +301,19 @@ var (
 
 // Service is the concurrent fault-grading engine.
 type Service struct {
-	cfg Config
-	reg *Registry
-	sem chan struct{}
-	wg  sync.WaitGroup
+	cfg    Config
+	reg    *Registry
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	logger *slog.Logger
+
+	// met holds the engine's instruments, registered on metrics; start
+	// anchors the uptime gauge. now is the clock, swappable by tests
+	// that pin timing values.
+	metrics *obs.Registry
+	met     *serviceMetrics
+	start   time.Time
+	now     func() time.Time
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -308,8 +337,15 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// now and met are the owning service's clock and instruments,
+	// copied in at submit so the hot paths (phase stopwatches, block
+	// counters) never reach back through the service.
+	now func() time.Time
+	met *serviceMetrics
+
 	mu     sync.Mutex
 	status JobStatus
+	timing Timing
 	// result is the kind-specific payload: *JobResult for grade,
 	// *AtpgResult for atpg, *OrderResult for adi_order.
 	result any
@@ -333,22 +369,30 @@ func New(cfg Config) *Service {
 	if cfg.MaxRetainedJobs <= 0 {
 		cfg.MaxRetainedJobs = 1024
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+	s := &Service{
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.CircuitCache, cfg.GoodCache),
+		sem:     make(chan struct{}, cfg.MaxConcurrentJobs),
+		jobs:    make(map[string]*job),
+		logger:  obs.Or(cfg.Logger),
+		metrics: obs.NewRegistry(),
+		now:     time.Now,
 	}
-	return &Service{
-		cfg:  cfg,
-		reg:  NewRegistry(cfg.CircuitCache, cfg.GoodCache),
-		sem:  make(chan struct{}, cfg.MaxConcurrentJobs),
-		jobs: make(map[string]*job),
-	}
+	s.start = s.now()
+	s.met = newServiceMetrics(s.metrics, s)
+	return s
 }
 
 // Registry exposes the cache (stats and pre-warming).
 func (s *Service) Registry() *Registry { return s.reg }
 
-// logf forwards to the configured diagnostic logger.
-func (s *Service) logf(format string, args ...any) { s.cfg.Logf(format, args...) }
+// Metrics exposes the service's metric registry, so embedders (the
+// adifod debug listener, the facade) can mount its exposition handler
+// elsewhere or register their own instruments alongside the engine's.
+func (s *Service) Metrics() *obs.Registry { return s.metrics }
+
+// Logger returns the service's structured logger.
+func (s *Service) Logger() *slog.Logger { return s.logger }
 
 // validateSpec performs everything Submit checks before enqueueing —
 // the common validation (circuit reference, kind dispatch, worker
@@ -421,6 +465,9 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 		kind:   k,
 		ctx:    ctx,
 		cancel: cancel,
+		now:    s.now,
+		met:    s.met,
+		timing: Timing{SubmittedAt: s.now()},
 		status: JobStatus{
 			ID:         id,
 			Kind:       NormalizeKind(spec.Kind),
@@ -428,6 +475,9 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 			FaultShard: spec.FaultShard,
 		},
 	}
+	j.status.Timing = j.timing.Snapshot()
+	s.met.jobsSubmitted.With(j.status.Kind).Inc()
+	s.met.jobsQueued.Inc()
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.evictOldJobsLocked()
@@ -540,6 +590,7 @@ func (s *Service) Cancel(id string) (JobStatus, error) {
 		// so the slot it would have used is never consumed. run()
 		// observes the terminal state and returns without working.
 		j.status.State = StateCancelled
+		started := j.finalizeLocked()
 		subs := j.subs
 		j.subs = nil
 		st := j.status
@@ -547,6 +598,7 @@ func (s *Service) Cancel(id string) (JobStatus, error) {
 		for _, ch := range subs {
 			close(ch)
 		}
+		s.countTerminal(st.Kind, StateCancelled, started)
 		s.mu.Lock()
 		s.cancelled++
 		s.mu.Unlock()
@@ -602,6 +654,8 @@ func (s *Service) Stats() Stats {
 		JobsDone:      s.done,
 		JobsFailed:    s.failed,
 		JobsCancelled: s.cancelled,
+		UptimeSeconds: s.now().Sub(s.start).Seconds(),
+		Version:       obs.Version,
 	}
 	for _, j := range s.jobs {
 		j.mu.Lock()
@@ -632,6 +686,7 @@ func (s *Service) Drain() {
 	s.draining = true
 	ids := append([]string(nil), s.order...)
 	s.mu.Unlock()
+	s.met.draining.Set(1)
 	for _, id := range ids {
 		// ErrFinished and ErrNotFound (evicted) are fine: the job is
 		// already out of the way.
@@ -670,7 +725,9 @@ func (s *Service) evictOldJobsLocked() {
 // state, hands the body to the job's kind, and performs the terminal
 // transition the kind's outcome calls for. A context error from the
 // kind means the job was cancelled at a barrier; any other error fails
-// the job.
+// the job. The body runs under pprof labels (kind, job), so CPU
+// profiles attribute simulator and generator samples to the job that
+// spent them — worker goroutines spawned inside inherit the labels.
 func (s *Service) run(j *job) {
 	defer s.wg.Done()
 	defer func() {
@@ -691,9 +748,20 @@ func (s *Service) run(j *job) {
 		return
 	}
 	j.status.State = StateRunning
+	j.timing.StartedAt = s.now()
+	j.timing.QueueWaitSeconds = j.timing.StartedAt.Sub(j.timing.SubmittedAt).Seconds()
+	j.status.Timing = j.timing.Snapshot()
+	kind, wait := j.status.Kind, j.timing.QueueWaitSeconds
 	j.mu.Unlock()
+	s.met.jobsQueued.Dec()
+	s.met.jobsRunning.Inc()
+	s.met.queueWait.With(kind).Observe(wait)
 
-	result, err := j.kind.run(s, j)
+	var result any
+	var err error
+	pprof.Do(j.ctx, pprof.Labels("kind", kind, "job", j.id), func(context.Context) {
+		result, err = j.kind.run(s, j)
+	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.finishCancelled(j)
@@ -706,12 +774,16 @@ func (s *Service) run(j *job) {
 	j.mu.Lock()
 	j.status.State = StateDone
 	j.result = result
+	j.finalizeLocked()
+	run := j.timing.RunSeconds
 	subs := j.subs
 	j.subs = nil
 	j.mu.Unlock()
 	for _, ch := range subs {
 		close(ch)
 	}
+	s.countTerminal(kind, StateDone, true)
+	s.met.duration.With(kind).Observe(run)
 	s.mu.Lock()
 	s.done++
 	s.mu.Unlock()
@@ -726,12 +798,16 @@ func (s *Service) fail(j *job, err error) {
 	}
 	j.status.State = StateFailed
 	j.status.Error = err.Error()
+	started := j.finalizeLocked()
+	kind := j.status.Kind
 	subs := j.subs
 	j.subs = nil
 	j.mu.Unlock()
 	for _, ch := range subs {
 		close(ch)
 	}
+	s.countTerminal(kind, StateFailed, started)
+	s.logger.Error("job failed", "job", j.id, "kind", kind, "err", err)
 	s.mu.Lock()
 	s.failed++
 	s.mu.Unlock()
@@ -747,20 +823,54 @@ func (s *Service) finishCancelled(j *job) {
 		return
 	}
 	j.status.State = StateCancelled
+	started := j.finalizeLocked()
+	kind := j.status.Kind
 	subs := j.subs
 	j.subs = nil
 	j.mu.Unlock()
 	for _, ch := range subs {
 		close(ch)
 	}
+	s.countTerminal(kind, StateCancelled, started)
 	s.mu.Lock()
 	s.cancelled++
 	s.mu.Unlock()
 }
 
+// finalizeLocked stamps the terminal timing on the job and mirrors it
+// to the status and the result payload (when one exists). It reports
+// whether the job had started — the caller uses that to settle the
+// right occupancy gauge. Called with j.mu held, terminal state set.
+func (j *job) finalizeLocked() (started bool) {
+	j.timing.FinishedAt = j.now()
+	started = !j.timing.StartedAt.IsZero()
+	if started {
+		j.timing.RunSeconds = j.timing.FinishedAt.Sub(j.timing.StartedAt).Seconds()
+	}
+	t := j.timing.Snapshot()
+	j.status.Timing = t
+	if r, ok := j.result.(timed); ok {
+		r.setTiming(t)
+	}
+	return started
+}
+
+// countTerminal settles the metrics of a job reaching terminal state:
+// the per-kind outcome counter, and whichever occupancy gauge (running
+// or queued) the job leaves.
+func (s *Service) countTerminal(kind, state string, started bool) {
+	s.met.jobsTotal.With(kind, state).Inc()
+	if started {
+		s.met.jobsRunning.Dec()
+	} else {
+		s.met.jobsQueued.Dec()
+	}
+}
+
 // publish pushes one block-barrier progress snapshot to the status and
 // to every subscriber. Sends never block: progress is advisory.
 func (j *job) publish(p fsim.Progress) {
+	j.met.simBlocks.Inc()
 	j.mu.Lock()
 	j.status.BlocksDone = p.Block + 1
 	j.status.VectorsUsed = p.VectorsUsed

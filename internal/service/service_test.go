@@ -1,6 +1,7 @@
 package service
 
 import (
+	"github.com/eda-go/adifo/internal/obs"
 	"testing"
 	"time"
 
@@ -43,7 +44,7 @@ func directRun(t *testing.T, name string, n int, seed uint64, opts fsim.Options)
 }
 
 func TestJobMatchesDirectLibraryRun(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	for _, tc := range []struct {
 		mode string
@@ -109,7 +110,7 @@ func TestJobMatchesDirectLibraryRun(t *testing.T) {
 }
 
 func TestRepeatSubmissionHitsCaches(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	spec := JobSpec{
 		Circuit:  "lion",
@@ -138,7 +139,7 @@ func TestRepeatSubmissionHitsCaches(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	bad := []JobSpec{
 		{},                               // no circuit
@@ -172,7 +173,7 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestUnknownCircuitFailsJob(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	id, err := s.Submit(JobSpec{
 		Circuit:  "no-such-circuit",
@@ -191,7 +192,7 @@ func TestUnknownCircuitFailsJob(t *testing.T) {
 // once the retained set exceeds the bound, so server memory does not
 // grow with lifetime request count.
 func TestJobRetention(t *testing.T) {
-	s := New(Config{MaxRetainedJobs: 3})
+	s := New(Config{Logger: obs.Nop(), MaxRetainedJobs: 3})
 	defer s.Close()
 	spec := JobSpec{Circuit: "lion", Patterns: PatternSpec{Exhaustive: true}, Mode: "nodrop"}
 	var ids []string
@@ -219,7 +220,7 @@ func TestJobRetention(t *testing.T) {
 }
 
 func TestResultErrors(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	if _, err := s.Result("j999"); err != ErrNotFound {
 		t.Fatalf("want ErrNotFound, got %v", err)
@@ -230,7 +231,7 @@ func TestResultErrors(t *testing.T) {
 }
 
 func TestSubscribeStreamsBlocks(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	// 1024 vectors = 16 blocks, enough to observe streaming.
 	id, err := s.Submit(JobSpec{
@@ -281,7 +282,7 @@ func TestSubscribeStreamsBlocks(t *testing.T) {
 // they all complete with per-seed-correct results (the shared caches
 // and the bounded pool must not cross-contaminate jobs).
 func TestConcurrentJobsBounded(t *testing.T) {
-	s := New(Config{MaxConcurrentJobs: 2, SimWorkers: 2})
+	s := New(Config{Logger: obs.Nop(), MaxConcurrentJobs: 2, SimWorkers: 2})
 	defer s.Close()
 	ids := make([]string, 8)
 	for i := range ids {

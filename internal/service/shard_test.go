@@ -1,6 +1,7 @@
 package service
 
 import (
+	"github.com/eda-go/adifo/internal/obs"
 	"strings"
 	"testing"
 )
@@ -40,7 +41,7 @@ func shardSpec(fs *FaultShard) JobSpec {
 // TestSubmitShardValidation: malformed shard selectors and the
 // incompatible stop_at_coverage combination are rejected at submit.
 func TestSubmitShardValidation(t *testing.T) {
-	s := New(Config{Logf: func(string, ...any) {}})
+	s := New(Config{Logger: obs.Nop()})
 	defer s.Close()
 	if _, err := s.Submit(shardSpec(&FaultShard{Index: 0, Count: 0})); err == nil {
 		t.Fatal("count 0 must be rejected")
@@ -65,7 +66,7 @@ func TestSubmitShardValidation(t *testing.T) {
 // TestSubmitWorkersValidation: out-of-range worker counts are rejected
 // at submit time instead of being silently clamped.
 func TestSubmitWorkersValidation(t *testing.T) {
-	s := New(Config{SimWorkers: 2, Logf: func(string, ...any) {}})
+	s := New(Config{Logger: obs.Nop(), SimWorkers: 2})
 	defer s.Close()
 	spec := JobSpec{Circuit: "c17", Mode: "nodrop", Patterns: PatternSpec{Exhaustive: true}}
 
@@ -109,7 +110,7 @@ func waitResult(t *testing.T, s *Service, id string) *JobResult {
 func TestShardedJobsComposeToUnsharded(t *testing.T) {
 	for _, mode := range []string{"nodrop", "drop", "ndetect"} {
 		t.Run(mode, func(t *testing.T) {
-			s := New(Config{MaxConcurrentJobs: 4, Logf: func(string, ...any) {}})
+			s := New(Config{Logger: obs.Nop(), MaxConcurrentJobs: 4})
 			defer s.Close()
 			spec := JobSpec{
 				Circuit:  "c17",
@@ -203,7 +204,7 @@ func TestShardedJobsComposeToUnsharded(t *testing.T) {
 // TestDrainRejectsAndCancels: Drain stops submissions with ErrDraining
 // and drives running jobs to a terminal state.
 func TestDrainRejectsAndCancels(t *testing.T) {
-	s := New(Config{MaxConcurrentJobs: 2, Logf: func(string, ...any) {}})
+	s := New(Config{Logger: obs.Nop(), MaxConcurrentJobs: 2})
 	spec := JobSpec{
 		Circuit:  "c17",
 		Mode:     "nodrop",

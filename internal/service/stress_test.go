@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"github.com/eda-go/adifo/internal/obs"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -19,7 +20,7 @@ import (
 func TestEngineMixedKindsStress(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
-	s := New(Config{SimWorkers: 2, MaxConcurrentJobs: 3})
+	s := New(Config{Logger: obs.Nop(), SimWorkers: 2, MaxConcurrentJobs: 3})
 	specs := []JobSpec{
 		{Circuit: "c17", Mode: "nodrop", Patterns: PatternSpec{Random: &RandomSpec{N: 192, Seed: 1}}},
 		{Circuit: "c17", Mode: "drop", Patterns: PatternSpec{Random: &RandomSpec{N: 192, Seed: 2}}},
@@ -136,6 +137,42 @@ func TestEngineMixedKindsStress(t *testing.T) {
 	}
 	if stats.JobsRunning != 0 || stats.JobsQueued != 0 {
 		t.Errorf("%d running, %d queued after Drain", stats.JobsRunning, stats.JobsQueued)
+	}
+
+	// The /metrics exposition must reconcile with the Stats snapshot
+	// after the dust settles: both views are fed by the same terminal
+	// transitions, so any drift means a path that updates one and not
+	// the other (the original motivation for funneling every terminal
+	// path through one helper).
+	text := scrapeText(t, s)
+	if got := metricValue(t, text, "adifo_jobs_submitted_total"); got != float64(stats.JobsSubmitted) {
+		t.Errorf("metric jobs_submitted %v != stats %d", got, stats.JobsSubmitted)
+	}
+	terminal := stats.JobsDone + stats.JobsFailed + stats.JobsCancelled
+	if got := metricValue(t, text, "adifo_jobs_total"); got != float64(terminal) {
+		t.Errorf("metric jobs_total %v != stats terminal sum %d", got, terminal)
+	}
+	for series, want := range map[string]float64{
+		`adifo_jobs_queued`:  0,
+		`adifo_jobs_running`: 0,
+		`adifo_draining`:     1,
+	} {
+		if got := metricValue(t, text, series); got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	byStatus := map[string]uint64{
+		StateDone: stats.JobsDone, StateFailed: stats.JobsFailed, StateCancelled: stats.JobsCancelled,
+	}
+	for status, want := range byStatus {
+		got := 0.0
+		for _, kind := range KindNames() {
+			got += metricValue(t, text,
+				`adifo_jobs_total{kind="`+kind+`",status="`+status+`"}`)
+		}
+		if got != float64(want) {
+			t.Errorf("metric jobs_total status=%s sums to %v, stats say %d", status, got, want)
+		}
 	}
 	t.Logf("stress: %d done, %d failed, %d cancelled of %d", done, failed, cancelled, len(ids))
 

@@ -18,3 +18,8 @@ grep -q 'BenchmarkServiceThroughput' "$out"
 grep -q 'BenchmarkClusterGrade' "$out"
 echo "wrote $out:"
 grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' "$out" | sed 's/"Output":"//; s/\\n"$//' || true
+
+# Archive a /metrics snapshot from a real adifod next to the benchmark
+# stream, so each commit's artifact also records the metric catalog
+# (and sanity-checks the exposition on the same runner).
+scripts/smoke_metrics.sh "$(dirname "$out")/BENCH_metrics.txt"

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Observability smoke test: boots a real adifod, runs one job of every
+# kind over the wire, scrapes GET /metrics from both the public and the
+# -debug-addr listener, and fails on malformed exposition lines or
+# missing required series. CI runs this on every push; it is the check
+# that the metrics surface a dashboard would scrape actually exists on
+# a released binary, not just in unit tests.
+#
+# Usage: scripts/smoke_metrics.sh [metrics-snapshot-file]
+#   If a snapshot file is given, the final /metrics body is written
+#   there (bench_service.sh uses this to archive a snapshot next to
+#   its benchmark artifact).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+snapshot="${1:-}"
+addr=127.0.0.1:8471
+debug=127.0.0.1:8472
+base="http://$addr"
+
+go build -o /tmp/adifod-smoke ./cmd/adifod
+
+/tmp/adifod-smoke -version | grep -q '^adifod ' || {
+  echo "adifod -version output malformed" >&2; exit 1
+}
+
+/tmp/adifod-smoke -addr "$addr" -debug-addr "$debug" -log-level warn &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$base/healthz" >/dev/null
+
+# One job per kind, driven to completion through the public wire.
+submit() {
+  curl -fsS -X POST -H 'Content-Type: application/json' -d "$1" "$base/v1/jobs" | jq -r .id
+}
+wait_done() {
+  local id=$1 state
+  for _ in $(seq 1 100); do
+    state=$(curl -fsS "$base/v1/jobs/$id" | jq -r .state)
+    case "$state" in
+      done) return 0 ;;
+      failed|cancelled) echo "job $id ended $state" >&2; return 1 ;;
+    esac
+    sleep 0.1
+  done
+  echo "job $id never finished" >&2
+  return 1
+}
+
+grade=$(submit '{"circuit":"c17","mode":"nodrop","patterns":{"random":{"n":256,"seed":1}}}')
+atpg=$(submit '{"kind":"atpg","circuit":"c17","patterns":{"random":{"n":96,"seed":2}},"order":{"kind":"dynm"}}')
+order=$(submit '{"kind":"adi_order","circuit":"c17","patterns":{"random":{"n":96,"seed":3}},"order":{"kind":"orig"}}')
+wait_done "$grade"
+wait_done "$atpg"
+wait_done "$order"
+
+# Results must carry the per-phase timing record.
+for id in "$grade" "$atpg" "$order"; do
+  phases=$(curl -fsS "$base/v1/jobs/$id/result" | jq -r '.timing.phases | keys | join(",")')
+  [ -n "$phases" ] || { echo "job $id result has no timing.phases" >&2; exit 1; }
+done
+curl -fsS "$base/v1/stats" | jq -e '.uptime_seconds > 0 and .version != ""' >/dev/null
+
+metrics=$(mktemp)
+curl -fsS "$base/metrics" > "$metrics"
+
+# Grammar check: every line is a comment or `name[{labels}] value`.
+bad=$(grep -vE '^(#|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$)' "$metrics" || true)
+if [ -n "$bad" ]; then
+  echo "malformed exposition lines:" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+
+# Required series: the catalog a capacity-planning dashboard consumes.
+for series in \
+  'adifo_build_info{' \
+  'adifo_uptime_seconds ' \
+  'adifo_jobs_submitted_total{kind="grade"}' \
+  'adifo_jobs_total{kind="grade",status="done"} 1' \
+  'adifo_jobs_total{kind="atpg",status="done"} 1' \
+  'adifo_jobs_total{kind="adi_order",status="done"} 1' \
+  'adifo_jobs_queued ' \
+  'adifo_jobs_running ' \
+  'adifo_queue_wait_seconds_bucket{kind="grade",le="+Inf"}' \
+  'adifo_job_duration_seconds_bucket{kind="atpg",le="+Inf"}' \
+  'adifo_sim_blocks_total ' \
+  'adifo_registry_circuit_hits_total ' \
+  'adifo_registry_good_misses_total ' \
+  'adifo_http_write_errors_total ' \
+  'adifo_draining 0' \
+; do
+  grep -qF "$series" "$metrics" || {
+    echo "required series missing from /metrics: $series" >&2
+    exit 1
+  }
+done
+
+# The debug listener serves the same exposition plus pprof. (Buffer
+# the body: grep -q on a pipe would close it early and trip pipefail.)
+dbg=$(mktemp)
+curl -fsS "http://$debug/metrics" > "$dbg"
+grep -qF 'adifo_build_info{' "$dbg"
+curl -fsS "http://$debug/debug/pprof/cmdline" >/dev/null
+
+if [ -n "$snapshot" ]; then
+  cp "$metrics" "$snapshot"
+  echo "metrics snapshot written to $snapshot"
+fi
+echo "observability smoke: OK ($(grep -cv '^#' "$metrics") series)"
