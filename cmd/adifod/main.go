@@ -18,6 +18,18 @@
 // fault-shards grade jobs only) or `-kinds atpg,adi_order` for an
 // ordering/generation tier.
 //
+// -journal-dir enables the write-ahead job journal: every accepted
+// job is durable before the submit is acknowledged, and a restarted
+// server replays the journal before listening — finished jobs answer
+// with byte-identical results, interrupted ones rerun. -max-queue
+// bounds the queue (excess submits get the typed 429 "overloaded"
+// envelope with Retry-After), and -tenant-limits gives named tenants
+// weighted-fair scheduling slices and per-tenant queue bounds, e.g.
+// `-tenant-limits alice=3:100,bob=1:10` (weight[:maxqueued]).
+// Specs carry the tenant in "tenant" and an optional
+// "idempotency_key" that makes retried submits collapse into one job,
+// across restarts included.
+//
 // The server is the public adifo.LocalGrader behind its Handler; a Go
 // program embedding the engine gets the identical API from
 // adifo.NewLocalGrader directly. Several adifod processes form a
@@ -55,6 +67,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -73,6 +86,9 @@ func main() {
 		goodCache    = flag.Int("good-cache", 0, "good-machine cache LRU capacity (0 = default)")
 		grace        = flag.Duration("grace", 10*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
 		kindsFlag    = flag.String("kinds", "", "comma-separated job kinds to serve (grade,atpg,adi_order; empty = all)")
+		journalDir   = flag.String("journal-dir", "", "directory for the write-ahead job journal (empty = no durability); on restart the journal is replayed before the listener opens")
+		maxQueue     = flag.Int("max-queue", 0, "max queued jobs before submits are rejected with the 429 overloaded envelope (0 = default 4096, negative = unbounded)")
+		tenantsFlag  = flag.String("tenant-limits", "", "per-tenant weight and queue bound, e.g. alice=3:100,bob=1:10 (weight[:maxqueued]); unlisted tenants get weight 1, no bound")
 		logLevel     = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
@@ -90,6 +106,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adifod: %v\n", err)
 		os.Exit(2)
 	}
+	tenantLimits, err := parseTenantLimits(*tenantsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adifod: %v\n", err)
+		os.Exit(2)
+	}
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
 		fmt.Fprintf(os.Stderr, "adifod: bad -log-level %q: %v\n", *logLevel, err)
@@ -97,14 +118,21 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, level)
 
-	g := adifo.NewLocalGrader(adifo.GraderConfig{
+	g, err := adifo.OpenLocalGrader(adifo.GraderConfig{
 		SimWorkers:        *workers,
 		MaxConcurrentJobs: *jobs,
 		CircuitCache:      *circuitCache,
 		GoodCache:         *goodCache,
 		Kinds:             kinds,
 		Logger:            logger,
+		JournalDir:        *journalDir,
+		MaxQueuedJobs:     *maxQueue,
+		TenantLimits:      tenantLimits,
 	})
+	if err != nil {
+		logger.Error("engine startup failed", "err", err)
+		os.Exit(1)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Error("listen failed", "addr", *addr, "err", err)
@@ -172,6 +200,45 @@ func parseKinds(s string) ([]string, error) {
 		kinds = append(kinds, k)
 	}
 	return kinds, nil
+}
+
+// parseTenantLimits parses the -tenant-limits flag: comma-separated
+// name=weight[:maxqueued] entries, e.g. "alice=3:100,bob=1:10".
+func parseTenantLimits(s string) (map[string]adifo.TenantLimit, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	limits := make(map[string]adifo.TenantLimit)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(entry, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -tenant-limits entry %q (want name=weight[:maxqueued])", entry)
+		}
+		if _, dup := limits[name]; dup {
+			return nil, fmt.Errorf("duplicate tenant %q in -tenant-limits", name)
+		}
+		weightStr, queueStr, hasQueue := strings.Cut(val, ":")
+		var tl adifo.TenantLimit
+		w, err := strconv.Atoi(strings.TrimSpace(weightStr))
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight in -tenant-limits entry %q (want a positive integer)", entry)
+		}
+		tl.Weight = w
+		if hasQueue {
+			q, err := strconv.Atoi(strings.TrimSpace(queueStr))
+			if err != nil || q <= 0 {
+				return nil, fmt.Errorf("bad maxqueued in -tenant-limits entry %q (want a positive integer)", entry)
+			}
+			tl.MaxQueued = q
+		}
+		limits[name] = tl
+	}
+	return limits, nil
 }
 
 // serve runs the job API on ln until ctx is cancelled (the signal

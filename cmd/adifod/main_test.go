@@ -180,3 +180,34 @@ func TestParseKinds(t *testing.T) {
 		t.Fatalf("adi_order job ended %v, %v", st.State, err)
 	}
 }
+
+func TestParseTenantLimits(t *testing.T) {
+	if m, err := parseTenantLimits(""); err != nil || m != nil {
+		t.Fatalf("parseTenantLimits(\"\") = %v, %v", m, err)
+	}
+	m, err := parseTenantLimits("alice=3:100, bob=1:10, carol=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]adifo.TenantLimit{
+		"alice": {Weight: 3, MaxQueued: 100},
+		"bob":   {Weight: 1, MaxQueued: 10},
+		"carol": {Weight: 2},
+	}
+	if len(m) != len(want) {
+		t.Fatalf("parsed %d tenants, want %d", len(m), len(want))
+	}
+	for name, tl := range want {
+		if m[name] != tl {
+			t.Errorf("tenant %s = %+v, want %+v", name, m[name], tl)
+		}
+	}
+	for _, bad := range []string{
+		"alice", "alice=", "alice=0", "alice=-1", "=3", "alice=3:0",
+		"alice=3:x", "alice=3,alice=1",
+	} {
+		if _, err := parseTenantLimits(bad); err == nil {
+			t.Errorf("parseTenantLimits(%q) accepted, want error", bad)
+		}
+	}
+}

@@ -96,7 +96,17 @@ var (
 	// shutting down gracefully (LocalGrader.Drain, or an adifod server
 	// that received SIGINT/SIGTERM).
 	ErrGraderDraining = service.ErrDraining
+	// ErrGraderOverloaded is returned by Submit when admission control
+	// rejects the job: the global queued-job bound
+	// (GraderConfig.MaxQueuedJobs) or the submitting tenant's own bound
+	// (GraderConfig.TenantLimits) is reached. Back off and resubmit —
+	// with an idempotency key the retry is safe by construction.
+	ErrGraderOverloaded = service.ErrOverloaded
 )
+
+// TenantLimit configures one tenant's scheduling weight and queue
+// bound in GraderConfig.TenantLimits.
+type TenantLimit = service.TenantLimit
 
 // Grader is the fault-grading engine behind one interface: submit a
 // job, poll or stream it, fetch the result, cancel it. NewLocalGrader
@@ -142,9 +152,28 @@ type LocalGrader struct {
 	svc *service.Service
 }
 
-// NewLocalGrader returns an in-process grading engine.
+// NewLocalGrader returns an in-process grading engine. It panics when
+// the configured journal directory cannot be opened or replayed; use
+// OpenLocalGrader to handle that as an error.
 func NewLocalGrader(cfg GraderConfig) *LocalGrader {
 	return &LocalGrader{svc: service.New(cfg)}
+}
+
+// OpenLocalGrader returns an in-process grading engine, surfacing
+// journal open/replay failures as errors. With
+// GraderConfig.JournalDir set, every accepted job is made durable in
+// a write-ahead journal before Submit returns, and construction
+// replays the journal: finished jobs come back queryable with
+// byte-identical results, jobs that were queued or running when the
+// process died re-enqueue and rerun. Recovery completes before
+// OpenLocalGrader returns, so a caller that wires Handler to a
+// listener afterwards never serves a partially recovered view.
+func OpenLocalGrader(cfg GraderConfig) (*LocalGrader, error) {
+	svc, err := service.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LocalGrader{svc: svc}, nil
 }
 
 // Handler returns the engine's v1 HTTP+JSON API, the surface cmd/adifod

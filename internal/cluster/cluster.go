@@ -25,6 +25,8 @@ package cluster
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -130,10 +132,17 @@ type Coordinator struct {
 	met     *clusterMetrics
 	now     func() time.Time
 
+	// nonce distinguishes this coordinator incarnation in the
+	// idempotency keys it mints for shard sub-jobs: a restarted
+	// coordinator re-placing the "same" shard must not collide with a
+	// sub-job the previous incarnation left on a journal-backed backend.
+	nonce string
+
 	mu    sync.Mutex
 	jobs  map[string]*cjob
 	order []string
 	seq   uint64
+	idem  map[string]string // caller idempotency key -> cluster job id
 	wg    sync.WaitGroup
 }
 
@@ -148,8 +157,10 @@ func New(urls []string, opts Options) (*Coordinator, error) {
 		opts:    opts,
 		logger:  opts.Logger,
 		jobs:    make(map[string]*cjob),
+		idem:    make(map[string]string),
 		metrics: obs.NewRegistry(),
 		now:     time.Now,
+		nonce:   newNonce(),
 	}
 	co.met = newClusterMetrics(co.metrics)
 	seen := make(map[string]bool)
@@ -170,6 +181,27 @@ func New(urls []string, opts Options) (*Coordinator, error) {
 // Metrics exposes the coordinator's metric registry, so an embedder
 // can mount its Prometheus exposition handler.
 func (co *Coordinator) Metrics() *obs.Registry { return co.metrics }
+
+// newNonce mints the coordinator incarnation nonce for shard
+// idempotency keys.
+func newNonce() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// shardKey is the idempotency key of one shard placement attempt.
+// Deterministic within an incarnation: if the coordinator (or the
+// client under it) repeats the same placement after a lost response,
+// the backend dedupes the repeat into the already-accepted sub-job —
+// exactly-once per backend. The retry counter is part of the key
+// because a *re-placed* shard is a new logical attempt: its rerun must
+// not dedupe into the sub-job that was just declared lost.
+func (co *Coordinator) shardKey(jobID string, index, count, retries int) string {
+	return fmt.Sprintf("c-%s-%s-s%d.%d-r%d", co.nonce, jobID, index, count, retries)
+}
 
 // shard is one fault-range sub-job of a cluster job. backend and
 // remoteID change when the shard is retried elsewhere.
@@ -227,7 +259,64 @@ type cjob struct {
 	timing    service.Timing
 	result    *service.JobResult
 	cancelled bool
-	subs      []chan service.ProgressEvent
+	subs      []*subscriber
+}
+
+// subscriber buffers merged progress events for one Subscribe caller
+// without loss. The merged feed emits every block exactly once, so the
+// queue — formally unbounded — is in fact bounded by the job's block
+// count. A fixed drop-on-full channel here would lose merged blocks
+// whenever a shard rerun catches up after a backend death: the merger
+// then emits a burst of gap-filled blocks faster than a consumer
+// goroutine is guaranteed to be scheduled.
+type subscriber struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []service.ProgressEvent
+	done  bool          // terminal: nothing more will be queued
+	stop  chan struct{} // closed on cancel: the consumer is gone
+}
+
+func newSubscriber() *subscriber {
+	sb := &subscriber{stop: make(chan struct{})}
+	sb.cond = sync.NewCond(&sb.mu)
+	return sb
+}
+
+// push appends one event to the queue; a no-op once the feed is
+// terminal.
+func (sb *subscriber) push(ev service.ProgressEvent) {
+	sb.mu.Lock()
+	if !sb.done {
+		sb.queue = append(sb.queue, ev)
+	}
+	sb.mu.Unlock()
+	sb.cond.Signal()
+}
+
+// finish marks the feed terminal; the pump drains what is already
+// queued and then closes the consumer channel.
+func (sb *subscriber) finish() {
+	sb.mu.Lock()
+	sb.done = true
+	sb.mu.Unlock()
+	sb.cond.Broadcast()
+}
+
+// next blocks until an event is queued or the feed is terminal and
+// drained.
+func (sb *subscriber) next() (service.ProgressEvent, bool) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	for len(sb.queue) == 0 && !sb.done {
+		sb.cond.Wait()
+	}
+	if len(sb.queue) == 0 {
+		return service.ProgressEvent{}, false
+	}
+	ev := sb.queue[0]
+	sb.queue = sb.queue[1:]
+	return ev, true
 }
 
 func (j *cjob) isCancelled() bool {
@@ -314,9 +403,26 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 	}
 	count := len(healthy)
 
+	// Coordinator-level idempotency: a caller key that already named a
+	// cluster job answers with that job's id instead of fanning out
+	// again. The caller's key is consumed here — sub-jobs carry
+	// coordinator-minted shard keys instead, because the same caller key
+	// on every shard would make the backends dedupe distinct shards into
+	// one sub-job.
+	callerKey := spec.IdempotencyKey
+	spec.IdempotencyKey = ""
 	co.mu.Lock()
+	if callerKey != "" {
+		if id, ok := co.idem[callerKey]; ok {
+			co.mu.Unlock()
+			return id, nil
+		}
+	}
 	co.seq++
 	id := fmt.Sprintf("c%d", co.seq)
+	if callerKey != "" {
+		co.idem[callerKey] = id
+	}
 	co.mu.Unlock()
 
 	// A cluster job has no queue: placement starts immediately, so
@@ -340,6 +446,7 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 	for i, sh := range j.shards {
 		sub := spec
 		sub.FaultShard = &service.FaultShard{Index: i, Count: count}
+		sub.IdempotencyKey = co.shardKey(id, i, count, 0)
 		placed := false
 		var lastErr error
 		for attempt := 0; attempt < len(healthy); attempt++ {
@@ -375,6 +482,11 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 		}
 		if !placed {
 			co.cancelSubJobs(j, nil)
+			if callerKey != "" {
+				co.mu.Lock()
+				delete(co.idem, callerKey)
+				co.mu.Unlock()
+			}
 			return "", fmt.Errorf("cluster: could not place shard %d/%d: %w", i, count, lastErr)
 		}
 	}
@@ -506,6 +618,10 @@ func (co *Coordinator) runShard(j *cjob, sh *shard) {
 func (co *Coordinator) replaceShard(ctx context.Context, j *cjob, sh *shard, failed *backend) error {
 	sub := j.spec
 	sub.FaultShard = &service.FaultShard{Index: sh.index, Count: sh.count}
+	sh.mu.Lock()
+	retries := sh.retries
+	sh.mu.Unlock()
+	sub.IdempotencyKey = co.shardKey(j.id, sh.index, sh.count, retries)
 	var lastErr error
 	for off := 1; off <= len(co.backends); off++ {
 		b := co.backends[(backendIndex(co.backends, failed)+off)%len(co.backends)]
@@ -663,14 +779,16 @@ func (co *Coordinator) finalize(j *cjob) {
 	j.subs = nil
 	j.mu.Unlock()
 	co.met.jobsTotal.With(state).Inc()
-	for _, ch := range subs {
-		close(ch)
+	for _, sb := range subs {
+		sb.finish()
 	}
 }
 
 // publish forwards merged progress events to the cluster job's status
-// and subscribers. Sends never block: progress is advisory, exactly as
-// in the service.
+// and subscribers. Pushes never block — each subscriber owns a lossless
+// queue its pump goroutine drains — so the merged feed stays contiguous
+// even when a rerun's catch-up emits a whole job's worth of blocks in
+// one burst.
 func (co *Coordinator) publish(j *cjob, evs []service.ProgressEvent) {
 	for _, ev := range evs {
 		j.mu.Lock()
@@ -683,13 +801,10 @@ func (co *Coordinator) publish(j *cjob, evs []service.ProgressEvent) {
 		j.status.VectorsUsed = ev.VectorsUsed
 		j.status.Detected = ev.Detected
 		j.status.Active = ev.Active
-		subs := append([]chan service.ProgressEvent(nil), j.subs...)
+		subs := append([]*subscriber(nil), j.subs...)
 		j.mu.Unlock()
-		for _, ch := range subs {
-			select {
-			case ch <- ev:
-			default:
-			}
+		for _, sb := range subs {
+			sb.push(ev)
 		}
 	}
 }
@@ -714,6 +829,11 @@ func (co *Coordinator) evictOldJobsLocked() {
 		j.mu.Unlock()
 		if excess > 0 && done {
 			delete(co.jobs, id)
+			for key, jid := range co.idem {
+				if jid == id {
+					delete(co.idem, key)
+				}
+			}
 			excess--
 			continue
 		}
@@ -799,15 +919,38 @@ func (co *Coordinator) Subscribe(id string) (<-chan service.ProgressEvent, func(
 	ch := make(chan service.ProgressEvent, 16)
 	j.mu.Lock()
 	if terminalState(j.status.State) {
+		j.mu.Unlock()
 		close(ch)
-	} else {
-		j.subs = append(j.subs, ch)
+		return ch, func() {}, true
 	}
+	sb := newSubscriber()
+	j.subs = append(j.subs, sb)
 	j.mu.Unlock()
+	// The pump decouples the publisher from the consumer: events queue
+	// losslessly in sb and flow into ch at the consumer's pace. On
+	// cancel the pump abandons the queue instead of blocking forever on
+	// a send nobody will receive.
+	go func() {
+		defer close(ch)
+		for {
+			ev, ok := sb.next()
+			if !ok {
+				return
+			}
+			select {
+			case ch <- ev:
+			case <-sb.stop:
+				return
+			}
+		}
+	}()
+	var once sync.Once
 	cancel := func() {
+		once.Do(func() { close(sb.stop) })
+		sb.finish()
 		j.mu.Lock()
-		for i, c := range j.subs {
-			if c == ch {
+		for i, s := range j.subs {
+			if s == sb {
 				j.subs = append(j.subs[:i], j.subs[i+1:]...)
 				break
 			}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/eda-go/adifo/internal/service"
+)
+
+// TestClusterCallerIdempotencyKey: a caller-supplied idempotency key
+// dedupes at the coordinator — the second submit answers with the
+// first cluster job instead of fanning out again — and the key is
+// consumed rather than forwarded (every sub-job carries a
+// coordinator-minted shard key, so backends never collapse distinct
+// shards into one sub-job).
+func TestClusterCallerIdempotencyKey(t *testing.T) {
+	urls, svcs := newBackends(t, 2)
+	co, err := New(urls, Options{Logger: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	ctx := context.Background()
+
+	spec := service.JobSpec{
+		Circuit:        "c17",
+		Mode:           "drop",
+		IdempotencyKey: "caller-1",
+		Patterns:       service.PatternSpec{Random: &service.RandomSpec{N: 256, Seed: 5}},
+	}
+	id1, err := co.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := co.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("caller key did not dedupe: %s vs %s", id1, id2)
+	}
+	if _, err := co.Stream(ctx, id1, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly one sub-job per backend: the fan-out ran once, and each
+	// backend saw its own shard key, not the caller's.
+	total := 0
+	for i, svc := range svcs {
+		jobs := svc.Jobs()
+		total += len(jobs)
+		if len(jobs) != 1 {
+			t.Errorf("backend %d has %d sub-jobs, want 1", i, len(jobs))
+		}
+	}
+	if total != len(svcs) {
+		t.Fatalf("cluster placed %d sub-jobs for one logical job on %d backends", total, len(svcs))
+	}
+
+	// The shard keys are coordinator-minted and distinct per shard.
+	shards, err := co.Shards(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, sh := range shards {
+		key := co.shardKey(id1, sh.Index, sh.Count, 0)
+		if !strings.HasPrefix(key, "c-"+co.nonce+"-") {
+			t.Errorf("shard key %q not scoped to the coordinator nonce", key)
+		}
+		if seen[key] {
+			t.Errorf("duplicate shard key %q", key)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,433 @@
+// Package journal is a dependency-free write-ahead log of job
+// lifecycle records: an append-only sequence of length-prefixed,
+// CRC-checksummed JSON payloads across rotated segment files. The job
+// engine appends one record per state transition (submitted, started,
+// finished) and replays the log at startup to reconstruct terminal job
+// history and re-enqueue work that was queued or running at crash
+// time.
+//
+// Durability model: Append returns only after the record (and every
+// record written before it) has been fsynced. Concurrent appenders are
+// group-committed — one fsync settles every record written since the
+// previous one — so the per-record cost under load is a fraction of a
+// disk flush. A crash can lose at most the suffix of records whose
+// Append had not yet returned; it can never corrupt the prefix, and
+// replay stops cleanly at the first truncated or corrupt record.
+//
+// On-disk format: each segment file starts with an 8-byte magic
+// ("ADIWAL1\n") followed by frames of
+//
+//	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload
+//
+// Open always starts a fresh segment (numbered after the highest
+// existing one), so past segments are immutable from the moment a
+// process starts and a torn final frame can only ever sit at the tail
+// of the newest segment.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record types. A job's life is submitted → started → finished;
+// cancellation and failure are finished records with the matching
+// state, so replay needs no per-type logic to find terminal jobs.
+const (
+	TypeSubmitted = "submitted"
+	TypeStarted   = "started"
+	TypeFinished  = "finished"
+)
+
+// Record is one journal entry. Spec and Result hold the job's
+// wire-level JSON bytes verbatim (see DESIGN.md: replay must serve
+// byte-identical results and re-validate specs through the same wire
+// path a client submission takes, so the journal records the wire
+// encoding, not internal structs).
+type Record struct {
+	// Type is submitted, started or finished.
+	Type string `json:"type"`
+	// Job is the engine job id ("j42").
+	Job string `json:"job"`
+	// Kind is the job's canonical kind name, set on submitted records.
+	Kind string `json:"kind,omitempty"`
+	// Tenant and Key are the multi-tenant coordinates: Key is the
+	// client-supplied idempotency key, deduplicated per tenant.
+	Tenant string `json:"tenant,omitempty"`
+	Key    string `json:"key,omitempty"`
+	// State is the terminal state of a finished record: done, failed
+	// or cancelled.
+	State string `json:"state,omitempty"`
+	// Error is the failure message of a finished/failed record.
+	Error string `json:"error,omitempty"`
+	// Spec is the submitted JobSpec's wire JSON (submitted records).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Result is the terminal result payload's wire JSON
+	// (finished/done records).
+	Result json.RawMessage `json:"result,omitempty"`
+	// At is the record's wall-clock time in Unix nanoseconds.
+	At int64 `json:"at,omitempty"`
+}
+
+const (
+	// magic opens every segment file; the trailing newline keeps
+	// `head -c8` output readable and catches ASCII-mode mangling.
+	magic = "ADIWAL1\n"
+	// frameHeader is the per-record prefix: length + CRC.
+	frameHeader = 8
+	// MaxRecordBytes bounds a single record's payload. Reader treats
+	// larger lengths as corruption — a torn length prefix must not
+	// trigger a multi-gigabyte allocation.
+	MaxRecordBytes = 64 << 20
+	// DefaultSegmentBytes is the rotation threshold when
+	// Options.SegmentBytes is zero.
+	DefaultSegmentBytes = 64 << 20
+)
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("journal: closed")
+
+// Options tunes a Journal.
+type Options struct {
+	// SegmentBytes rotates to a new segment once the current one
+	// exceeds this size (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// NoSync skips fsync on append — records still reach the OS on
+	// every Append, but a machine crash can lose them. For tests and
+	// benchmarks; production leaves it false.
+	NoSync bool
+}
+
+// Stats is a point-in-time snapshot of a Journal's counters, consumed
+// by the service's metric registry as scrape-time functions.
+type Stats struct {
+	Appends       uint64
+	AppendedBytes uint64
+	Syncs         uint64
+	SyncSeconds   float64
+	Rotations     uint64
+	Errors        uint64
+	// Segment is the index of the segment currently being written.
+	Segment int
+}
+
+// Journal is an open write-ahead log. Safe for concurrent use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	size    int64
+	seg     int
+	err     error // sticky write failure: fail fast, never write a torn log
+	closed  bool
+	syncing bool
+	waiters []chan error
+
+	appends   atomic.Uint64
+	appBytes  atomic.Uint64
+	syncs     atomic.Uint64
+	syncNanos atomic.Int64
+	rotations atomic.Uint64
+	errs      atomic.Uint64
+}
+
+// Open creates dir if needed and starts a new segment after the
+// highest existing one. It never writes into old segments: they are
+// replay-only history from this moment on.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 1
+	if n := len(segs); n > 0 {
+		next = segs[n-1].index + 1
+	}
+	j := &Journal{dir: dir, opts: opts, seg: next - 1}
+	if err := j.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Dir returns the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// segmentName renders a segment index as its file name.
+func segmentName(index int) string { return fmt.Sprintf("%08d.wal", index) }
+
+type segmentFile struct {
+	index int
+	path  string
+}
+
+// segments lists dir's segment files in index order.
+func segments(dir string) ([]segmentFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var out []segmentFile
+	for _, e := range entries {
+		var idx int
+		if _, err := fmt.Sscanf(e.Name(), "%08d.wal", &idx); err != nil || segmentName(idx) != e.Name() {
+			continue
+		}
+		out = append(out, segmentFile{index: idx, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].index < out[b].index })
+	return out, nil
+}
+
+// rotateLocked syncs and closes the current segment (if any) and opens
+// the next one. Caller holds j.mu (or is Open, before the journal is
+// shared).
+func (j *Journal) rotateLocked() error {
+	if j.f != nil {
+		if !j.opts.NoSync {
+			if err := j.f.Sync(); err != nil {
+				j.errs.Add(1)
+				return fmt.Errorf("journal: sync %s: %w", j.f.Name(), err)
+			}
+		}
+		if err := j.f.Close(); err != nil {
+			j.errs.Add(1)
+			return fmt.Errorf("journal: close %s: %w", j.f.Name(), err)
+		}
+		j.f = nil
+		j.rotations.Add(1)
+	}
+	j.seg++
+	path := filepath.Join(j.dir, segmentName(j.seg))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		j.errs.Add(1)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write([]byte(magic)); err != nil {
+		f.Close()
+		j.errs.Add(1)
+		return fmt.Errorf("journal: %w", err)
+	}
+	// Make the new segment's directory entry durable before anything
+	// depends on records inside it.
+	if !j.opts.NoSync {
+		if d, err := os.Open(j.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	j.f = f
+	j.size = int64(len(magic))
+	return nil
+}
+
+// EncodeFrame renders one record as its on-disk frame:
+// length | CRC | JSON payload.
+func EncodeFrame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode record: %w", err)
+	}
+	if len(payload) > MaxRecordBytes {
+		return nil, fmt.Errorf("journal: record payload %d bytes exceeds limit %d", len(payload), MaxRecordBytes)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	return frame, nil
+}
+
+// Append writes rec and returns once it is durable (fsynced), batching
+// its flush with concurrent appenders. After a write error the journal
+// is poisoned: every later Append returns the same error rather than
+// risking a log with an interior hole.
+func (j *Journal) Append(rec Record) error {
+	ch, err := j.append(rec)
+	if err != nil {
+		return err
+	}
+	if ch == nil { // NoSync: durable enough by configuration
+		return nil
+	}
+	return <-ch
+}
+
+// AppendAsync writes rec and schedules its fsync without waiting for
+// it. Used for records whose loss a crash already tolerates (started:
+// a submitted-but-unfinished job re-enqueues either way).
+func (j *Journal) AppendAsync(rec Record) error {
+	_, err := j.append(rec)
+	return err
+}
+
+func (j *Journal) append(rec Record) (chan error, error) {
+	frame, err := EncodeFrame(rec)
+	if err != nil {
+		j.errs.Add(1)
+		return nil, err
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if j.err != nil {
+		err := j.err
+		j.mu.Unlock()
+		return nil, err
+	}
+	if j.size+int64(len(frame)) > j.opts.SegmentBytes && j.size > int64(len(magic)) {
+		if err := j.rotateLocked(); err != nil {
+			j.err = err
+			j.mu.Unlock()
+			return nil, err
+		}
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		j.err = fmt.Errorf("journal: write: %w", err)
+		j.errs.Add(1)
+		err := j.err
+		j.mu.Unlock()
+		return nil, err
+	}
+	j.size += int64(len(frame))
+	j.appends.Add(1)
+	j.appBytes.Add(uint64(len(frame)))
+	if j.opts.NoSync {
+		j.mu.Unlock()
+		return nil, nil
+	}
+	ch := make(chan error, 1)
+	j.waiters = append(j.waiters, ch)
+	if !j.syncing {
+		j.syncing = true
+		go j.syncLoop()
+	}
+	j.mu.Unlock()
+	return ch, nil
+}
+
+// syncLoop is the group-commit flusher: it repeatedly takes the
+// current waiter batch, fsyncs once, and settles every waiter in the
+// batch. Records appended while an fsync is in flight join the next
+// batch — one flusher, at most one fsync outstanding.
+func (j *Journal) syncLoop() {
+	for {
+		j.mu.Lock()
+		waiters := j.waiters
+		j.waiters = nil
+		if len(waiters) == 0 {
+			j.syncing = false
+			j.mu.Unlock()
+			return
+		}
+		f := j.f
+		j.mu.Unlock()
+
+		start := time.Now()
+		err := f.Sync()
+		j.syncs.Add(1)
+		j.syncNanos.Add(int64(time.Since(start)))
+		if err != nil {
+			err = fmt.Errorf("journal: sync: %w", err)
+			j.errs.Add(1)
+			j.mu.Lock()
+			if j.err == nil {
+				j.err = err
+			}
+			j.mu.Unlock()
+		}
+		for _, ch := range waiters {
+			ch <- err
+		}
+	}
+}
+
+// Sync forces an fsync of the current segment, settling any
+// outstanding async appends.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	if j.closed || j.f == nil {
+		j.mu.Unlock()
+		return nil
+	}
+	if j.err != nil {
+		err := j.err
+		j.mu.Unlock()
+		return err
+	}
+	f := j.f
+	j.mu.Unlock()
+	if j.opts.NoSync {
+		return nil
+	}
+	start := time.Now()
+	err := f.Sync()
+	j.syncs.Add(1)
+	j.syncNanos.Add(int64(time.Since(start)))
+	if err != nil {
+		j.errs.Add(1)
+	}
+	return err
+}
+
+// Close fsyncs and closes the current segment. Later Appends return
+// ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.f == nil {
+		return nil
+	}
+	var err error
+	if !j.opts.NoSync {
+		err = j.f.Sync()
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// Stats returns a snapshot of the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	seg := j.seg
+	j.mu.Unlock()
+	return Stats{
+		Appends:       j.appends.Load(),
+		AppendedBytes: j.appBytes.Load(),
+		Syncs:         j.syncs.Load(),
+		SyncSeconds:   time.Duration(j.syncNanos.Load()).Seconds(),
+		Rotations:     j.rotations.Load(),
+		Errors:        j.errs.Load(),
+		Segment:       seg,
+	}
+}

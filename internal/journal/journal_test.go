@@ -1,0 +1,322 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testRecord(i int) Record {
+	return Record{
+		Type:   TypeSubmitted,
+		Job:    "j" + string(rune('0'+i%10)),
+		Kind:   "grade",
+		Tenant: "acme",
+		Key:    "k",
+		Spec:   json.RawMessage(`{"circuit":"c17","mode":"nodrop","patterns":{"exhaustive":true}}`),
+		At:     int64(1000 + i),
+	}
+}
+
+func replayAll(t *testing.T, dir string) ([]Record, ReplayResult) {
+	t.Helper()
+	var recs []Record
+	res, err := Replay(dir, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs, res
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Record, 0, 20)
+	for i := 0; i < 20; i++ {
+		r := testRecord(i)
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		want = append(want, r)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, res := replayAll(t, dir)
+	if res.Truncated {
+		t.Fatal("clean log reported truncated")
+	}
+	if res.Records != len(want) {
+		t.Fatalf("Records = %d, want %d", res.Records, len(want))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed records differ:\ngot  %+v\nwant %+v", got, want)
+	}
+	st := j.Stats()
+	if st.Appends != 20 || st.Errors != 0 {
+		t.Fatalf("Stats = %+v, want 20 appends, 0 errors", st)
+	}
+}
+
+func TestConcurrentAppendDurable(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{}) // real fsync: exercise group commit
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.Append(testRecord(i)); err != nil {
+				t.Errorf("Append: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, res := replayAll(t, dir)
+	if len(recs) != n || res.Truncated {
+		t.Fatalf("replayed %d records (truncated=%v), want %d clean", len(recs), res.Truncated, n)
+	}
+	st := j.Stats()
+	if st.Syncs == 0 {
+		t.Fatal("no fsyncs recorded")
+	}
+	if st.Syncs > st.Appends {
+		t.Fatalf("more syncs (%d) than appends (%d): group commit not batching", st.Syncs, st.Appends)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := j.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("got %d segments, want rotation to produce several", len(segs))
+	}
+	recs, res := replayAll(t, dir)
+	if len(recs) != n || res.Truncated {
+		t.Fatalf("replayed %d records (truncated=%v) across %d segments, want %d clean",
+			len(recs), res.Truncated, res.Segments, n)
+	}
+	if j.Stats().Rotations == 0 {
+		t.Fatal("no rotations counted")
+	}
+}
+
+func TestReopenStartsNewSegment(t *testing.T) {
+	dir := t.TempDir()
+	j1, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: simulate a crash. Reopen must not touch the old
+	// segment.
+	j2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Stats().Segment <= j1.Stats().Segment {
+		t.Fatalf("reopen segment %d not after crashed segment %d",
+			j2.Stats().Segment, j1.Stats().Segment)
+	}
+	if err := j2.Append(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	recs, _ := replayAll(t, dir)
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records across reopen, want 2", len(recs))
+	}
+}
+
+// TestTruncatedTail chops bytes off the final segment and checks
+// replay keeps the whole prefix and stops cleanly.
+func TestTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	segs, _ := segments(dir)
+	path := segs[len(segs)-1].path
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point strictly inside the last record's frame
+	// must yield exactly the 4-record prefix (removing the whole frame
+	// is a clean log, not a torn one).
+	frame, _ := EncodeFrame(testRecord(4))
+	for cut := 1; cut < len(frame); cut++ {
+		if err := os.WriteFile(path, full[:len(full)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, res := replayAll(t, dir)
+		if len(recs) != 4 {
+			t.Fatalf("cut %d: replayed %d records, want 4", cut, len(recs))
+		}
+		if !res.Truncated {
+			t.Fatalf("cut %d: truncation not reported", cut)
+		}
+	}
+}
+
+// TestCorruptTail flips a payload byte of the last record: the CRC
+// must reject it and replay keeps the prefix.
+func TestCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	segs, _ := segments(dir)
+	path := segs[0].path
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, res := replayAll(t, dir)
+	if len(recs) != 2 || !res.Truncated {
+		t.Fatalf("replayed %d records (truncated=%v), want 2 truncated", len(recs), res.Truncated)
+	}
+}
+
+// TestOversizedLengthPrefix writes a frame header claiming a payload
+// beyond MaxRecordBytes: the reader must treat it as corruption, not
+// attempt the allocation.
+func TestOversizedLengthPrefix(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{NoSync: true})
+	j.Append(testRecord(0))
+	j.Close()
+	segs, _ := segments(dir)
+	path := segs[0].path
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], MaxRecordBytes+1)
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.Write(hdr[:])
+	f.Close()
+	recs, res := replayAll(t, dir)
+	if len(recs) != 1 || !res.Truncated {
+		t.Fatalf("replayed %d records (truncated=%v), want 1 truncated", len(recs), res.Truncated)
+	}
+}
+
+func TestReplayMissingDirIsEmpty(t *testing.T) {
+	res, err := Replay(filepath.Join(t.TempDir(), "nope"), func(Record) error {
+		t.Fatal("fn called on empty log")
+		return nil
+	})
+	if err != nil || res.Records != 0 {
+		t.Fatalf("Replay(missing) = %+v, %v; want empty, nil", res, err)
+	}
+}
+
+func TestReplayFnErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{NoSync: true})
+	j.Append(testRecord(0))
+	j.Close()
+	boom := errors.New("boom")
+	_, err := Replay(dir, func(Record) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Replay fn error = %v, want %v", err, boom)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{NoSync: true})
+	j.Close()
+	if err := j.Append(testRecord(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(testRecord(0))
+	j.Close()
+	recs, _ := replayAll(t, dir)
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records with a foreign file present, want 1", len(recs))
+	}
+}
+
+func TestReaderStopsNotPanics(t *testing.T) {
+	// Arbitrary garbage through the frame reader: never panic, always
+	// terminate with EOF or ErrTruncated.
+	inputs := []string{
+		"", "x", strings.Repeat("\x00", 7), strings.Repeat("\xff", 64),
+		"\x04\x00\x00\x00\x00\x00\x00\x00abcd",
+	}
+	for _, in := range inputs {
+		r := NewReader(strings.NewReader(in))
+		for {
+			_, err := r.Next()
+			if err == io.EOF || errors.Is(err, ErrTruncated) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("input %q: unexpected error %v", in, err)
+			}
+		}
+	}
+}

@@ -11,10 +11,14 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,6 +50,11 @@ func decodeError(method, path string, resp *http.Response) error {
 		Err service.APIError `json:"error"`
 	}
 	if json.NewDecoder(resp.Body).Decode(&env) == nil && env.Err.Code != "" {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				env.Err.RetryAfter = secs
+			}
+		}
 		return fmt.Errorf("%s %s (HTTP %d): %w", method, path, resp.StatusCode, &env.Err)
 	}
 	return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
@@ -81,15 +90,61 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit posts a grading job and returns its id.
+// submitAttempts bounds Submit's transparent retry of transport
+// failures, and submitBackoff spaces the attempts.
+const (
+	submitAttempts = 3
+	submitBackoff  = 100 * time.Millisecond
+)
+
+// newIdempotencyKey mints a random per-submission key. 16 random bytes
+// hex-encoded: collision-free in practice, and well under the server's
+// 256-byte bound.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// keyless (non-idempotent, non-retried) submit.
+		return ""
+	}
+	return "auto-" + hex.EncodeToString(b[:])
+}
+
+// Submit posts a job and returns its id.
+//
+// A spec without an IdempotencyKey gets an auto-generated one, which
+// makes the POST safe to repeat: transport failures (connection reset,
+// proxy hiccup) are retried transparently up to three times, and a
+// retry that lands after a first attempt the client never saw the
+// answer to is deduplicated by the server into the same job id. Typed
+// API errors — including "overloaded" admission rejections, whose
+// Retry-After arrives in APIError.RetryAfter — are never retried here;
+// backoff policy for those belongs to the caller.
 func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (string, error) {
+	if spec.IdempotencyKey == "" {
+		spec.IdempotencyKey = newIdempotencyKey()
+	}
+	retryable := spec.IdempotencyKey != ""
 	var resp struct {
 		ID string `json:"id"`
 	}
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &resp); err != nil {
-		return "", err
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = c.do(ctx, http.MethodPost, "/v1/jobs", spec, &resp)
+		if err == nil {
+			return resp.ID, nil
+		}
+		var apiErr *service.APIError
+		if !retryable || attempt >= submitAttempts ||
+			errors.As(err, &apiErr) || ctx.Err() != nil {
+			return "", err
+		}
+		select {
+		case <-ctx.Done():
+			return "", err
+		case <-time.After(submitBackoff * time.Duration(attempt)):
+		}
 	}
-	return resp.ID, nil
 }
 
 // Status polls one job.

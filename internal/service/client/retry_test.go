@@ -1,0 +1,159 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/eda-go/adifo/internal/obs"
+	"github.com/eda-go/adifo/internal/service"
+)
+
+// flakyTransport forwards requests to the real transport but, for the
+// first n submit POSTs, swallows the response after the server has
+// processed it and reports a transport error instead — the
+// acknowledged-but-unobserved failure mode that makes naive retries
+// duplicate jobs.
+type flakyTransport struct {
+	inner http.RoundTripper
+	fails atomic.Int32
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := f.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.Method == http.MethodPost && strings.HasSuffix(req.URL.Path, "/v1/jobs") &&
+		f.fails.Add(-1) >= 0 {
+		resp.Body.Close()
+		return nil, errors.New("flaky: connection reset mid-response")
+	}
+	return resp, nil
+}
+
+// TestClientSubmitRetriesFlakyTransport: a submit whose response is
+// lost is retried with the same auto-generated idempotency key, so
+// the server deduplicates the retry into the job it already accepted
+// — one job, not two.
+func TestClientSubmitRetriesFlakyTransport(t *testing.T) {
+	svc := service.New(service.Config{Logger: obs.Nop()})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	ft := &flakyTransport{inner: srv.Client().Transport}
+	ft.fails.Store(1)
+	cl := New(srv.URL, &http.Client{Transport: ft})
+
+	id, err := cl.Submit(context.Background(), service.JobSpec{
+		Circuit:  "c17",
+		Mode:     "drop",
+		Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 64, Seed: 1}},
+	})
+	if err != nil {
+		t.Fatalf("submit through flaky transport: %v", err)
+	}
+	jobs, err := cl.Jobs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != id {
+		t.Fatalf("server has %d jobs after retried submit, want exactly the one returned (%s): %+v",
+			len(jobs), id, jobs)
+	}
+	stats, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.JobsDeduped != 1 {
+		t.Errorf("JobsDeduped = %d, want 1 (the retry)", stats.JobsDeduped)
+	}
+}
+
+// TestClientSubmitGivesUpAfterRetries: a transport that never
+// delivers exhausts the attempt budget and surfaces the error.
+func TestClientSubmitGivesUpAfterRetries(t *testing.T) {
+	svc := service.New(service.Config{Logger: obs.Nop()})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	ft := &flakyTransport{inner: srv.Client().Transport}
+	ft.fails.Store(1000)
+	cl := New(srv.URL, &http.Client{Transport: ft})
+	_, err := cl.Submit(context.Background(), service.JobSpec{
+		Circuit:  "c17",
+		Mode:     "drop",
+		Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 64, Seed: 1}},
+	})
+	if err == nil {
+		t.Fatal("submit succeeded through a dead transport")
+	}
+	// All attempts landed on the server under one key: still one job.
+	if jobs, jerr := cl.Jobs(context.Background()); jerr == nil && len(jobs) > 1 {
+		t.Errorf("server accumulated %d jobs from one logical submit", len(jobs))
+	}
+}
+
+// TestClientSubmitNoRetryOnAPIError: typed refusals (validation,
+// overloaded) are not retried — the Retry-After surface belongs to
+// the caller.
+func TestClientSubmitNoRetryOnAPIError(t *testing.T) {
+	var posts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		w.Header().Set("Retry-After", "7")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"overloaded","message":"queue full"}}`))
+	}))
+	defer srv.Close()
+	cl := New(srv.URL, srv.Client())
+	_, err := cl.Submit(context.Background(), service.JobSpec{Circuit: "c17"})
+	if !errors.Is(err, service.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err %v is not an APIError", err)
+	}
+	if apiErr.RetryAfter != 7 {
+		t.Errorf("RetryAfter = %d, want 7 (parsed from the header)", apiErr.RetryAfter)
+	}
+	if got := posts.Load(); got != 1 {
+		t.Errorf("server saw %d submit attempts, want 1 (no retry on typed errors)", got)
+	}
+}
+
+// TestClientSubmitKeepsCallerKey: an explicit idempotency key is
+// forwarded untouched, not replaced by an auto-generated one.
+func TestClientSubmitKeepsCallerKey(t *testing.T) {
+	svc := service.New(service.Config{Logger: obs.Nop()})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	cl := New(srv.URL, srv.Client())
+
+	spec := service.JobSpec{
+		Circuit:        "c17",
+		Mode:           "drop",
+		IdempotencyKey: "caller-key",
+		Patterns:       service.PatternSpec{Random: &service.RandomSpec{N: 64, Seed: 1}},
+	}
+	id1, err := cl.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := cl.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("caller key did not dedupe: %s vs %s", id1, id2)
+	}
+}

@@ -1,0 +1,218 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestHelperJournalDaemon is not a test: it is the child process of
+// TestJournalCrashRecovery. Re-executed from the test binary with
+// ADIFO_JOURNAL_DAEMON=1, it serves a journal-backed service on a
+// loopback port, publishes the address in the journal directory, and
+// runs until killed — with SIGKILL, which is the point.
+func TestHelperJournalDaemon(t *testing.T) {
+	if os.Getenv("ADIFO_JOURNAL_DAEMON") != "1" {
+		t.Skip("not a test; the crash-recovery child process")
+	}
+	dir := os.Getenv("ADIFO_JOURNAL_DIR")
+	s, err := Open(Config{JournalDir: dir, MaxConcurrentJobs: 1, SimWorkers: 2})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "daemon: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "daemon: %v\n", err)
+		os.Exit(1)
+	}
+	// Publish the address atomically: the parent polls for this file.
+	tmp := filepath.Join(dir, "addr.tmp")
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "daemon: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "addr")); err != nil {
+		fmt.Fprintf(os.Stderr, "daemon: %v\n", err)
+		os.Exit(1)
+	}
+	http.Serve(ln, s.Handler())
+}
+
+// daemon wraps the child process and its HTTP endpoint.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func startDaemon(t *testing.T, dir string) *daemon {
+	t.Helper()
+	os.Remove(filepath.Join(dir, "addr"))
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperJournalDaemon$")
+	cmd.Env = append(os.Environ(),
+		"ADIFO_JOURNAL_DAEMON=1", "ADIFO_JOURNAL_DIR="+dir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting daemon: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(filepath.Join(dir, "addr")); err == nil && len(b) > 0 {
+			return &daemon{cmd: cmd, base: "http://" + string(b)}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("daemon did not publish its address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// kill delivers SIGKILL — no drain, no journal close, a real crash.
+func (d *daemon) kill() {
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+func (d *daemon) submit(t *testing.T, spec JobSpec) string {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil || out.ID == "" {
+		t.Fatalf("submit: bad response %s", raw)
+	}
+	return out.ID
+}
+
+func (d *daemon) status(t *testing.T, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(d.base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("status %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("status %s: %v", id, err)
+	}
+	return st
+}
+
+func (d *daemon) waitFor(t *testing.T, id, want string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := d.status(t, id)
+		if st.State == want {
+			return st
+		}
+		if terminal(st.State) && terminal(want) {
+			t.Fatalf("job %s reached %s (%s), want %s", id, st.State, st.Error, want)
+		}
+		if terminal(st.State) {
+			t.Fatalf("job %s terminal %s (%s) while waiting for %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return JobStatus{}
+}
+
+func (d *daemon) resultBytes(t *testing.T, id string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(d.base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("result %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestJournalCrashRecovery is the end-to-end durability check: a real
+// child process is SIGKILLed mid-workload and restarted on the same
+// journal. The finished job's result must come back byte-identical,
+// and the jobs that were running or queued at the kill — one of each
+// kind — must rerun to completion with their original ids.
+func TestJournalCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	d := startDaemon(t, dir)
+	defer d.kill()
+
+	pat := PatternSpec{Random: &RandomSpec{N: 128, Seed: 21}}
+	fastSpec := JobSpec{Circuit: "c17", Mode: "drop", Patterns: pat,
+		Tenant: "acme", IdempotencyKey: "fast-1"}
+	fastID := d.submit(t, fastSpec)
+	d.waitFor(t, fastID, StateDone)
+	preCode, preBytes := d.resultBytes(t, fastID)
+	if preCode != http.StatusOK {
+		t.Fatalf("pre-crash result: HTTP %d", preCode)
+	}
+
+	// One running and two queued jobs (the daemon runs one at a time),
+	// covering all three kinds at the moment of death. A quarter-length
+	// slowSpec: still hundreds of blocks (reliably running when the
+	// SIGKILL lands), but a cheaper rerun after the restart.
+	slow := slowSpec()
+	slow.Patterns.Random.N = 1 << 14
+	slowID := d.submit(t, slow)
+	d.waitFor(t, slowID, StateRunning)
+	genID := d.submit(t, JobSpec{Kind: KindAtpg, Circuit: "c17", Patterns: pat,
+		Order: &OrderSpec{Kind: "dynm"}, IdempotencyKey: "gen-1"})
+	ordID := d.submit(t, JobSpec{Kind: KindADIOrder, Circuit: "c17", Patterns: pat,
+		Order: &OrderSpec{Kind: "decr"}})
+
+	d.kill()
+	d = startDaemon(t, dir)
+	defer d.kill()
+
+	// The finished job answers byte-identically across the crash.
+	postCode, postBytes := d.resultBytes(t, fastID)
+	if postCode != http.StatusOK {
+		t.Fatalf("post-crash result: HTTP %d: %s", postCode, postBytes)
+	}
+	if !bytes.Equal(preBytes, postBytes) {
+		t.Errorf("result bytes changed across crash\n pre: %s\npost: %s", preBytes, postBytes)
+	}
+
+	// Interrupted jobs rerun to completion under their original ids.
+	for _, id := range []string{slowID, genID, ordID} {
+		if st := d.waitFor(t, id, StateDone); st.ID != id {
+			t.Errorf("replayed job answered as %s, want %s", st.ID, id)
+		}
+	}
+
+	// The idempotency key survives the crash: resubmitting the fast
+	// spec dedupes into the pre-crash job instead of running again.
+	if again := d.submit(t, fastSpec); again != fastID {
+		t.Errorf("post-crash dedupe returned %s, want %s", again, fastID)
+	}
+}

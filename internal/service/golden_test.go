@@ -270,6 +270,48 @@ func TestGoldenErrorEnvelopes(t *testing.T) {
 	record("finished", http.MethodDelete, "/v1/jobs/"+doneID, "")
 	record("job_failed", http.MethodGet, "/v1/jobs/"+failedID+"/result", "")
 
+	// The overloaded envelope needs a deterministically full queue: a
+	// dedicated one-slot, one-queued-job service whose slot is pinned
+	// by a running job, so the bound in the message is fixed.
+	tight := New(Config{Logger: obs.Nop(), SimWorkers: 1, MaxConcurrentJobs: 1,
+		MaxQueuedJobs: 1, Kinds: []string{KindGrade}})
+	defer tight.Close()
+	tightSrv := httptest.NewServer(tight.Handler())
+	defer tightSrv.Close()
+	runningID, err := tight.Submit(slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, tight, runningID, StateRunning)
+	queuedID, err := tight.Submit(JobSpec{Circuit: "c17", Mode: "drop",
+		Patterns: PatternSpec{Random: &RandomSpec{N: 64, Seed: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	{
+		req, err := http.NewRequest(http.MethodPost, tightSrv.URL+"/v1/jobs",
+			strings.NewReader(`{"circuit":"c17","mode":"drop","patterns":{"random":{"n":64,"seed":4}}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Header.Get("Retry-After"); got != "1" {
+			t.Errorf("overloaded Retry-After = %q, want \"1\"", got)
+		}
+		envelopes = append(envelopes, envelope{Name: "overloaded", Status: resp.StatusCode,
+			Body: json.RawMessage(bytes.TrimSpace(b))})
+	}
+	tight.Cancel(queuedID)
+	tight.Cancel(runningID)
+
 	checkGolden(t, "error_envelopes_v1.json", marshalCanonical(t, envelopes))
 
 	s.Cancel(slowID)

@@ -17,6 +17,7 @@ const (
 	CodeJobFailed       = "job_failed"       // the job itself failed
 	CodeUnavailable     = "unavailable"      // server draining, not accepting jobs
 	CodeUnsupportedKind = "unsupported_kind" // job kind unknown or disabled on this server
+	CodeOverloaded      = "overloaded"       // admission control rejected the submit; retry after backoff
 )
 
 // APIError is the typed error of the v1 wire contract. Handlers send
@@ -26,6 +27,10 @@ const (
 type APIError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfter is the Retry-After header's value in seconds on
+	// overloaded responses, 0 elsewhere. Transport metadata, not part
+	// of the envelope body.
+	RetryAfter int `json:"-"`
 }
 
 // Error implements the error interface.
@@ -49,6 +54,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == CodeUnavailable
 	case ErrUnsupportedKind:
 		return e.Code == CodeUnsupportedKind
+	case ErrOverloaded:
+		return e.Code == CodeOverloaded
 	}
 	return false
 }
@@ -57,6 +64,11 @@ func (e *APIError) Is(target error) bool {
 type errorEnvelope struct {
 	Err APIError `json:"error"`
 }
+
+// retryAfterSeconds is the Retry-After value on overloaded responses.
+// A small constant: queue pressure at this scale drains in seconds,
+// and jittered client retries matter more than a precise estimate.
+const retryAfterSeconds = "1"
 
 // Handler returns the HTTP+JSON API of the service, the surface
 // cmd/adifod listens on and the client package talks to:
@@ -130,6 +142,13 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
 		return
 	}
+	if errors.Is(err, ErrOverloaded) {
+		// 429 + Retry-After: back off and resubmit — with an
+		// idempotency key the retry is safe by construction.
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		s.writeError(w, http.StatusTooManyRequests, CodeOverloaded, err)
+		return
+	}
 	if errors.Is(err, ErrUnsupportedKind) {
 		s.writeError(w, http.StatusBadRequest, CodeUnsupportedKind, err)
 		return
@@ -178,9 +197,15 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 // kind field (or the job status they already hold).
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	res, err := s.ResultAny(id)
+	res, raw, err := s.result(id)
 	switch {
 	case err == nil:
+		if raw != nil {
+			// A job replayed from the journal: serve the journaled
+			// wire bytes verbatim, so the restart is byte-invisible.
+			s.writeJSON(w, http.StatusOK, json.RawMessage(raw))
+			return
+		}
 		s.writeJSON(w, http.StatusOK, res)
 	case errors.Is(err, ErrNotFound):
 		s.writeError(w, http.StatusNotFound, CodeNotFound, err)

@@ -1,11 +1,29 @@
 package service
 
 import (
+	"github.com/eda-go/adifo/internal/journal"
 	"github.com/eda-go/adifo/internal/obs"
 )
 
 // Terminal status label values of the adifo_jobs_total metric.
 var terminalStatuses = []string{StateDone, StateFailed, StateCancelled}
+
+// Reason label values of the adifo_jobs_rejected_total metric.
+const (
+	// reasonDraining: Submit refused because the service is shutting
+	// down.
+	reasonDraining = "draining"
+	// reasonOverloaded: the global queued-job bound was reached.
+	reasonOverloaded = "overloaded"
+	// reasonTenantLimit: the submitting tenant's own queue bound was
+	// reached.
+	reasonTenantLimit = "tenant_limit"
+	// reasonDrain: the job was already queued when Drain dropped it —
+	// the shutdown's collateral, counted rather than silent.
+	reasonDrain = "drain"
+)
+
+var rejectReasons = []string{reasonDraining, reasonOverloaded, reasonTenantLimit, reasonDrain}
 
 // serviceMetrics bundles the engine's instruments. Hot-path updates
 // are single atomic operations; everything derivable at scrape time
@@ -23,6 +41,12 @@ type serviceMetrics struct {
 	simBlocks     *obs.Counter
 	writeErrors   *obs.Counter
 	draining      *obs.Gauge
+
+	// Multi-tenant control-plane instruments: rejected submits by
+	// reason, idempotency-key dedupe hits, and per-tenant queue depth.
+	jobsRejected     *obs.CounterVec // reason
+	jobsDeduped      *obs.Counter
+	tenantQueueDepth *obs.GaugeVec // tenant
 }
 
 // newServiceMetrics registers the engine's metric families on reg and
@@ -58,6 +82,16 @@ func newServiceMetrics(reg *obs.Registry, s *Service) *serviceMetrics {
 		"HTTP response bodies that failed to encode after the status line was sent.")
 	m.draining = reg.Gauge("adifo_draining",
 		"1 once Drain has been called, 0 before.")
+	m.jobsRejected = reg.CounterVec("adifo_jobs_rejected_total",
+		"Submits refused (admission control, tenant limits, drain), by reason.", "reason")
+	m.jobsDeduped = reg.Counter("adifo_jobs_deduplicated_total",
+		"Submits answered from the idempotency-key map instead of enqueueing.")
+	m.tenantQueueDepth = reg.GaugeVec("adifo_tenant_queue_depth",
+		"Jobs queued per tenant (label \"default\" is the unset tenant).", "tenant")
+	for _, reason := range rejectReasons {
+		m.jobsRejected.With(reason)
+	}
+	m.tenantQueueDepth.With(tenantLabel(""))
 
 	for _, kind := range KindNames() {
 		m.jobsSubmitted.With(kind)
@@ -97,6 +131,64 @@ func newServiceMetrics(reg *obs.Registry, s *Service) *serviceMetrics {
 	reg.GaugeFunc("adifo_registry_goods",
 		"Good-machine cache entries currently resident.",
 		func() float64 { return float64(s.reg.Stats().Goods) })
+
+	// Journal instruments are always registered — a deterministic
+	// catalog regardless of configuration — and read zero while the
+	// journal is disabled. The journal package stays dependency-free;
+	// the engine lifts its Stats() snapshot into the exposition.
+	jstat := func(pick func(journal.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			if s.jnl == nil {
+				return 0
+			}
+			return pick(s.jnl.Stats())
+		}
+	}
+	reg.GaugeFunc("adifo_journal_enabled",
+		"1 when Config.JournalDir enables the write-ahead job journal.",
+		func() float64 {
+			if s.jnl == nil {
+				return 0
+			}
+			return 1
+		})
+	reg.CounterFunc("adifo_journal_appends_total",
+		"Records appended to the job journal.",
+		jstat(func(j journal.Stats) uint64 { return j.Appends }))
+	reg.CounterFunc("adifo_journal_appended_bytes_total",
+		"Bytes appended to the job journal (frames including headers).",
+		jstat(func(j journal.Stats) uint64 { return j.AppendedBytes }))
+	reg.CounterFunc("adifo_journal_syncs_total",
+		"Journal fsyncs; appends/syncs is the group-commit batching factor.",
+		jstat(func(j journal.Stats) uint64 { return j.Syncs }))
+	reg.GaugeFunc("adifo_journal_sync_seconds_total",
+		"Cumulative seconds spent in journal fsyncs.",
+		func() float64 {
+			if s.jnl == nil {
+				return 0
+			}
+			return s.jnl.Stats().SyncSeconds
+		})
+	reg.CounterFunc("adifo_journal_rotations_total",
+		"Journal segment rotations.",
+		jstat(func(j journal.Stats) uint64 { return j.Rotations }))
+	reg.CounterFunc("adifo_journal_errors_total",
+		"Journal write, sync and encode failures.",
+		jstat(func(j journal.Stats) uint64 { return j.Errors }))
+	reg.GaugeFunc("adifo_journal_segment",
+		"Index of the journal segment currently being written.",
+		func() float64 {
+			if s.jnl == nil {
+				return 0
+			}
+			return float64(s.jnl.Stats().Segment)
+		})
+	reg.CounterFunc("adifo_journal_replayed_records_total",
+		"Well-formed records replayed from the journal at the last startup.",
+		func() uint64 { return s.replayRecords })
+	reg.CounterFunc("adifo_journal_requeued_total",
+		"Jobs found queued or running in the journal and re-enqueued at the last startup.",
+		func() uint64 { return s.replayRequeued })
 
 	return m
 }

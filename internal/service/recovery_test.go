@@ -1,0 +1,401 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/eda-go/adifo/internal/journal"
+	"github.com/eda-go/adifo/internal/obs"
+)
+
+// journalCfg is the base configuration of the recovery tests: a
+// journal in dir, all kinds enabled, quiet logs.
+func journalCfg(dir string) Config {
+	return Config{Logger: obs.Nop(), SimWorkers: 2, JournalDir: dir}
+}
+
+func mustOpen(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// httpGet fetches path from the service's handler and returns status
+// code and body bytes.
+func httpGet(t *testing.T, h http.Handler, path string) (int, []byte) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestJournalRecoveryTerminalBytes runs one job of every kind (plus a
+// failed and a cancelled one) on a journal-backed service, restarts
+// the service on the same directory, and requires the replayed
+// /result responses to be byte-identical to the live ones — the
+// restart is invisible to a polling client.
+func TestJournalRecoveryTerminalBytes(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, journalCfg(dir))
+
+	pat := PatternSpec{Random: &RandomSpec{N: 128, Seed: 7}}
+	specs := map[string]JobSpec{
+		"grade": {Circuit: "c17", Mode: "drop", Patterns: pat, Tenant: "acme"},
+		"atpg":  {Kind: KindAtpg, Circuit: "c17", Patterns: pat, Order: &OrderSpec{Kind: "dynm"}},
+		"order": {Kind: KindADIOrder, Circuit: "c17", Patterns: pat, Order: &OrderSpec{Kind: "decr"}},
+		"fail":  {Circuit: "no_such_circuit", Mode: "drop", Patterns: pat},
+	}
+	ids := map[string]string{}
+	for name, spec := range specs {
+		id, err := a.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %s: %v", name, err)
+		}
+		ids[name] = id
+		waitTerminal(t, a, id)
+	}
+	cancelledID, err := a.Submit(slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Cancel(cancelledID)
+	waitTerminal(t, a, cancelledID)
+	ids["cancelled"] = cancelledID
+
+	// Snapshot the live wire responses, then stop the service.
+	type snap struct {
+		code   int
+		result []byte
+		status JobStatus
+	}
+	snaps := map[string]snap{}
+	for name, id := range ids {
+		code, body := httpGet(t, a.Handler(), "/v1/jobs/"+id+"/result")
+		st, ok := a.Status(id)
+		if !ok {
+			t.Fatalf("status of %s vanished", id)
+		}
+		snaps[name] = snap{code: code, result: body, status: st}
+	}
+	a.Close()
+
+	b := mustOpen(t, journalCfg(dir))
+	defer b.Close()
+	for name, id := range ids {
+		want := snaps[name]
+		code, body := httpGet(t, b.Handler(), "/v1/jobs/"+id+"/result")
+		if code != want.code {
+			t.Errorf("%s: replayed result status = %d, want %d", name, code, want.code)
+		}
+		if string(body) != string(want.result) {
+			t.Errorf("%s: replayed result bytes differ\n live: %s\nreplay: %s",
+				name, want.result, body)
+		}
+		st, ok := b.Status(id)
+		if !ok {
+			t.Fatalf("%s: job %s missing after replay", name, id)
+		}
+		if st.State != want.status.State || st.Kind != want.status.Kind ||
+			st.Tenant != want.status.Tenant || st.Error != want.status.Error {
+			t.Errorf("%s: replayed status = %+v, want state/kind/tenant/error of %+v",
+				name, st, want.status)
+		}
+	}
+	// Typed in-process access survives too.
+	if res, _, err := b.result(ids["grade"]); err != nil {
+		t.Errorf("typed result after replay: %v", err)
+	} else if _, ok := res.(*JobResult); !ok {
+		t.Errorf("typed result after replay is %T, want *JobResult", res)
+	}
+}
+
+// TestJournalRequeueDeterminism hand-crafts a journal holding only
+// submitted records — jobs that never ran — and requires the
+// recovering service to run them to the exact results a fresh
+// submission of the same specs produces, for every kind.
+func TestJournalRequeueDeterminism(t *testing.T) {
+	pat := PatternSpec{Random: &RandomSpec{N: 128, Seed: 11}}
+	specs := []JobSpec{
+		{Circuit: "c17", Mode: "drop", Patterns: pat},
+		{Kind: KindAtpg, Circuit: "c17", Patterns: pat, Order: &OrderSpec{Kind: "dynm"}},
+		{Kind: KindADIOrder, Circuit: "c17", Patterns: pat, Order: &OrderSpec{Kind: "decr"}},
+	}
+
+	dir := t.TempDir()
+	jnl, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := jnl.Append(journal.Record{
+			Type: journal.TypeSubmitted,
+			Job:  "j" + string(rune('1'+i)),
+			Kind: NormalizeKind(spec.Kind),
+			Spec: raw,
+			At:   time.Now().UnixNano(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jnl.Close()
+
+	recovered := mustOpen(t, journalCfg(dir))
+	defer recovered.Close()
+	control := New(Config{Logger: obs.Nop(), SimWorkers: 2})
+	defer control.Close()
+
+	// Results modulo timing: wall-clock history legitimately differs
+	// between the two runs; everything else must not.
+	sansTiming := func(res any) map[string]any {
+		raw, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "timing")
+		return m
+	}
+	for i, spec := range specs {
+		id := "j" + string(rune('1'+i))
+		st := waitTerminal(t, recovered, id)
+		if st.State != StateDone {
+			t.Fatalf("replayed job %s: state %s (%s), want done", id, st.State, st.Error)
+		}
+		cid, err := control.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cst := waitTerminal(t, control, cid); cst.State != StateDone {
+			t.Fatalf("control job %s: state %s (%s), want done", cid, cst.State, cst.Error)
+		}
+		got, _, err := recovered.result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := control.result(cid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sansTiming(got), sansTiming(want)) {
+			t.Errorf("kind %s: replayed run diverged from control\nreplay: %#v\ncontrol: %#v",
+				NormalizeKind(spec.Kind), sansTiming(got), sansTiming(want))
+		}
+	}
+	if recovered.replayRequeued != uint64(len(specs)) {
+		t.Errorf("replayRequeued = %d, want %d", recovered.replayRequeued, len(specs))
+	}
+}
+
+// TestJournalIdempotencyAcrossRestart: an idempotency key used before
+// a restart still answers with the original job id afterwards — the
+// dedupe map is rebuilt from the journal.
+func TestJournalIdempotencyAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, journalCfg(dir))
+	spec := JobSpec{Circuit: "c17", Mode: "drop", Tenant: "acme", IdempotencyKey: "key-1",
+		Patterns: PatternSpec{Random: &RandomSpec{N: 64, Seed: 3}}}
+	id, err := a.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, a, id)
+	if again, _ := a.Submit(spec); again != id {
+		t.Fatalf("live dedupe returned %s, want %s", again, id)
+	}
+	a.Close()
+
+	b := mustOpen(t, journalCfg(dir))
+	defer b.Close()
+	again, err := b.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != id {
+		t.Fatalf("post-restart dedupe returned %s, want %s", again, id)
+	}
+	if got := b.Stats().JobsDeduped; got != 1 {
+		t.Errorf("JobsDeduped = %d, want 1", got)
+	}
+	// A different tenant with the same key is a different submission.
+	other := spec
+	other.Tenant = "rival"
+	otherID, err := b.Submit(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherID == id {
+		t.Fatalf("key deduped across tenants: both got %s", id)
+	}
+}
+
+// TestJournalReplayUnrunnableSpec: a journaled queued job whose spec
+// this server can no longer run (kind disabled) becomes a failed job
+// — and the failure itself is journaled, so the next restart does not
+// retry it again.
+func TestJournalReplayUnrunnableSpec(t *testing.T) {
+	dir := t.TempDir()
+	// A journal holding only the submitted record — the process died
+	// with the job still queued.
+	jnl, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Kind: KindAtpg, Circuit: "c17",
+		Patterns: PatternSpec{Random: &RandomSpec{N: 64, Seed: 5}},
+		Order:    &OrderSpec{Kind: "dynm"}}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "j1"
+	if err := jnl.Append(journal.Record{Type: journal.TypeSubmitted,
+		Job: id, Kind: KindAtpg, Spec: raw, At: time.Now().UnixNano()}); err != nil {
+		t.Fatal(err)
+	}
+	jnl.Close()
+
+	// Restart with atpg disabled: the replayed spec fails validation.
+	b := mustOpen(t, Config{Logger: obs.Nop(), SimWorkers: 2, JournalDir: dir,
+		Kinds: []string{KindGrade}})
+	st, ok := b.Status(id)
+	if !ok {
+		t.Fatal("replayed job missing")
+	}
+	if st.State != StateFailed {
+		t.Fatalf("replayed unrunnable job state = %s, want failed", st.State)
+	}
+	if _, _, err := b.result(id); err == nil || errors.Is(err, ErrNotDone) {
+		t.Fatalf("result of failed replayed job = %v, want the job failure", err)
+	}
+	b.Close()
+
+	// Third incarnation: the failure was journaled, so the job is
+	// still terminal — not retried.
+	c := mustOpen(t, Config{Logger: obs.Nop(), SimWorkers: 2, JournalDir: dir,
+		Kinds: []string{KindGrade}})
+	defer c.Close()
+	if st, _ := c.Status(id); st.State != StateFailed {
+		t.Fatalf("third incarnation state = %s, want failed", st.State)
+	}
+	if c.replayRequeued != 0 {
+		t.Errorf("third incarnation requeued %d jobs, want 0", c.replayRequeued)
+	}
+}
+
+// TestJournalSubmitDurableBeforeAck: the submitted record of an acked
+// job is already on disk — a journal reader sees it without any
+// cooperation from the (still running) service.
+func TestJournalSubmitDurableBeforeAck(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, journalCfg(dir))
+	defer s.Close()
+	id, err := s.Submit(JobSpec{Circuit: "c17", Mode: "drop",
+		Patterns: PatternSpec{Random: &RandomSpec{N: 64, Seed: 9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen bool
+	if _, err := journal.Replay(dir, func(rec journal.Record) error {
+		if rec.Type == journal.TypeSubmitted && rec.Job == id {
+			seen = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatalf("submitted record of %s not durable at ack time", id)
+	}
+	waitTerminal(t, s, id)
+}
+
+// TestJournalDisabledNoDir: without JournalDir nothing is written and
+// recovery is a no-op — the pre-journal configuration keeps its exact
+// behavior.
+func TestJournalDisabledNoDir(t *testing.T) {
+	s := New(Config{Logger: obs.Nop(), SimWorkers: 2})
+	defer s.Close()
+	id, err := s.Submit(JobSpec{Circuit: "c17", Mode: "drop",
+		Patterns: PatternSpec{Random: &RandomSpec{N: 64, Seed: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s, id); st.State != StateDone {
+		t.Fatalf("state = %s, want done", st.State)
+	}
+	if s.jnl != nil {
+		t.Fatal("journal open without JournalDir")
+	}
+}
+
+// TestJournalMetricsExposed: the journal families read real values on
+// a journal-backed service.
+func TestJournalMetricsExposed(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, journalCfg(dir))
+	defer s.Close()
+	id, err := s.Submit(JobSpec{Circuit: "c17", Mode: "drop",
+		Patterns: PatternSpec{Random: &RandomSpec{N: 64, Seed: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, id)
+	_, body := httpGet(t, s.Metrics().Handler(), "/")
+	for _, want := range []string{
+		"adifo_journal_enabled 1",
+		"adifo_journal_appends_total",
+		"adifo_journal_syncs_total",
+	} {
+		if !containsLine(string(body), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+	if filepath.Join(dir, "00000001.wal") == "" {
+		t.Fatal("unreachable")
+	}
+}
+
+// containsLine reports whether any exposition line starts with prefix.
+func containsLine(body, prefix string) bool {
+	for len(body) > 0 {
+		i := 0
+		for i < len(body) && body[i] != '\n' {
+			i++
+		}
+		line := body[:i]
+		if len(line) >= len(prefix) && line[:len(prefix)] == prefix {
+			return true
+		}
+		if i == len(body) {
+			break
+		}
+		body = body[i+1:]
+	}
+	return false
+}

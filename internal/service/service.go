@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"github.com/eda-go/adifo/internal/fsim"
+	"github.com/eda-go/adifo/internal/journal"
 	"github.com/eda-go/adifo/internal/logic"
 	"github.com/eda-go/adifo/internal/obs"
 	"github.com/eda-go/adifo/internal/prng"
@@ -63,6 +64,26 @@ type Config struct {
 	// workload (e.g. grade-only backends behind a cluster
 	// coordinator).
 	Kinds []string
+	// JournalDir, when set, enables the write-ahead job journal: every
+	// lifecycle transition is appended to an append-only log under this
+	// directory, and Open replays it before accepting traffic —
+	// terminal jobs come back with byte-identical results, jobs that
+	// were queued or running re-enqueue, and idempotency keys
+	// deduplicate across the restart. Empty disables durability (the
+	// pre-journal in-memory behavior).
+	JournalDir string
+	// JournalNoSync skips the per-append fsync (records still reach
+	// the OS immediately). Tests and benchmarks only: a machine crash
+	// can lose acknowledged records.
+	JournalNoSync bool
+	// MaxQueuedJobs bounds the total queued (accepted, not yet
+	// running) jobs across all tenants; submits beyond it are rejected
+	// with ErrOverloaded (default 4096, negative = unbounded).
+	MaxQueuedJobs int
+	// TenantLimits configures per-tenant scheduling weights and queue
+	// bounds, keyed by the JobSpec.Tenant value. Tenants not listed
+	// get weight 1 and no per-tenant queue bound.
+	TenantLimits map[string]TenantLimit
 	// Logger receives diagnostics the service cannot surface to any
 	// caller, such as response-encoding failures after the status line
 	// was sent. Records carry structured fields ("job", "kind") rather
@@ -81,9 +102,18 @@ type JobSpec struct {
 	// Kind is the job kind: "grade", "atpg" or "adi_order". Empty
 	// means grade — the only kind the v1 wire knew originally, so old
 	// specs keep their meaning unchanged.
-	Kind    string `json:"kind,omitempty"`
-	Circuit string `json:"circuit,omitempty"`
-	Bench   string `json:"bench,omitempty"`
+	Kind string `json:"kind,omitempty"`
+	// Tenant names the submitting tenant for fair scheduling and
+	// admission control; empty is the default tenant. Additive to the
+	// v1 wire.
+	Tenant string `json:"tenant,omitempty"`
+	// IdempotencyKey, when set, deduplicates submits per tenant: a
+	// second submit with the same key returns the first submit's job
+	// id instead of enqueueing again — including across a restart on a
+	// journal-backed server. Additive to the v1 wire.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	Circuit        string `json:"circuit,omitempty"`
+	Bench          string `json:"bench,omitempty"`
 	// Name labels an inline netlist (cosmetic; named circuits keep
 	// their own name).
 	Name string `json:"name,omitempty"`
@@ -177,7 +207,9 @@ type JobStatus struct {
 	ID string `json:"id"`
 	// Kind is the job's canonical kind name ("grade", "atpg",
 	// "adi_order").
-	Kind    string `json:"kind,omitempty"`
+	Kind string `json:"kind,omitempty"`
+	// Tenant echoes the spec's tenant (empty = default tenant).
+	Tenant  string `json:"tenant,omitempty"`
 	State   string `json:"state"`
 	Circuit string `json:"circuit,omitempty"`
 	Faults  int    `json:"faults,omitempty"`
@@ -279,8 +311,14 @@ type Stats struct {
 	JobsDone      uint64        `json:"jobs_done"`
 	JobsFailed    uint64        `json:"jobs_failed"`
 	JobsCancelled uint64        `json:"jobs_cancelled"`
-	JobsRunning   int           `json:"jobs_running"`
-	JobsQueued    int           `json:"jobs_queued"`
+	// JobsDeduped counts submits answered from the idempotency-key
+	// map instead of enqueueing; JobsRejected counts submits refused
+	// by admission control or drain (see the
+	// adifo_jobs_rejected_total metric for the per-reason split).
+	JobsDeduped  uint64 `json:"jobs_deduped"`
+	JobsRejected uint64 `json:"jobs_rejected"`
+	JobsRunning  int    `json:"jobs_running"`
+	JobsQueued   int    `json:"jobs_queued"`
 	// UptimeSeconds is the service's age; Version the build version —
 	// the same values the adifo_uptime_seconds and adifo_build_info
 	// metrics expose.
@@ -307,6 +345,11 @@ type Service struct {
 	wg     sync.WaitGroup
 	logger *slog.Logger
 
+	// jnl is the write-ahead job journal, nil when Config.JournalDir
+	// is unset. Appends happen outside mu: the journal has its own
+	// lock and group-commits concurrent writers.
+	jnl *journal.Journal
+
 	// met holds the engine's instruments, registered on metrics; start
 	// anchors the uptime gauge. now is the clock, swappable by tests
 	// that pin timing values.
@@ -315,21 +358,41 @@ type Service struct {
 	start   time.Time
 	now     func() time.Time
 
-	mu        sync.Mutex
-	jobs      map[string]*job
-	order     []string // job ids in submission order
+	// schedCond signals the dispatcher goroutine that sched gained
+	// work (or schedClosed was set). It shares mu.
+	schedCond *sync.Cond
+
+	mu          sync.Mutex
+	jobs        map[string]*job
+	order       []string // job ids in submission order
+	sched       *scheduler
+	schedClosed bool
+	// idem maps tenant-scoped idempotency keys to job ids (rebuilt
+	// from the journal at recovery).
+	idem      map[string]string
 	seq       uint64
 	submitted uint64
 	done      uint64
 	failed    uint64
 	cancelled uint64
+	deduped   uint64
+	rejected  uint64
 	draining  bool
+	// replayRecords and replayRequeued describe the recovery pass, for
+	// the journal replay metrics.
+	replayRecords  uint64
+	replayRequeued uint64
 }
 
 type job struct {
 	id   string
 	spec JobSpec
 	kind jobKind
+	// tenant is the spec's tenant; idemKey the tenant-scoped dedupe
+	// map key ("" when the spec carried no idempotency key) — kept on
+	// the job so eviction can drop the map entry with it.
+	tenant  string
+	idemKey string
 
 	// ctx governs the job's work; cancel is invoked by Service.Cancel
 	// and aborts the run at the next barrier (simulation block or ATPG
@@ -349,11 +412,30 @@ type job struct {
 	// result is the kind-specific payload: *JobResult for grade,
 	// *AtpgResult for atpg, *OrderResult for adi_order.
 	result any
-	subs   []chan ProgressEvent
+	// rawResult holds the journaled wire JSON of a replayed terminal
+	// job's result; the result endpoint serves it verbatim so a
+	// restart is byte-invisible to clients.
+	rawResult []byte
+	subs      []chan ProgressEvent
 }
 
-// New returns a ready service.
+// New returns a ready service. It panics if Config.JournalDir is set
+// but the journal cannot be opened or replayed — programs enabling
+// durability should call Open and handle the error.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open returns a ready service. With Config.JournalDir set it opens
+// the write-ahead journal and replays it before returning, so by the
+// time any listener accepts traffic every pre-crash terminal job
+// answers result queries with byte-identical payloads and every job
+// that was queued or running is queued again.
+func Open(cfg Config) (*Service, error) {
 	if cfg.SimWorkers <= 0 {
 		cfg.SimWorkers = runtime.GOMAXPROCS(0)
 	}
@@ -369,18 +451,41 @@ func New(cfg Config) *Service {
 	if cfg.MaxRetainedJobs <= 0 {
 		cfg.MaxRetainedJobs = 1024
 	}
+	if cfg.MaxQueuedJobs == 0 {
+		cfg.MaxQueuedJobs = 4096
+	}
 	s := &Service{
 		cfg:     cfg,
 		reg:     NewRegistry(cfg.CircuitCache, cfg.GoodCache),
 		sem:     make(chan struct{}, cfg.MaxConcurrentJobs),
 		jobs:    make(map[string]*job),
+		sched:   newScheduler(),
+		idem:    make(map[string]string),
 		logger:  obs.Or(cfg.Logger),
 		metrics: obs.NewRegistry(),
 		now:     time.Now,
 	}
+	s.schedCond = sync.NewCond(&s.mu)
 	s.start = s.now()
 	s.met = newServiceMetrics(s.metrics, s)
-	return s
+	if cfg.JournalDir != "" {
+		// Open before replay: the journal only ever appends to a fresh
+		// segment, so the replay scan sees every pre-crash segment plus
+		// an empty new one — and recovery can itself journal (a
+		// replayed spec that no longer validates is recorded as
+		// failed).
+		jnl, err := journal.Open(cfg.JournalDir, journal.Options{NoSync: cfg.JournalNoSync})
+		if err != nil {
+			return nil, err
+		}
+		s.jnl = jnl
+		if err := s.recover(cfg.JournalDir); err != nil {
+			jnl.Close()
+			return nil, err
+		}
+	}
+	go s.dispatch()
+	return s, nil
 }
 
 // Registry exposes the cache (stats and pre-warming).
@@ -415,6 +520,9 @@ func (s *Service) validateSpec(spec JobSpec) (jobKind, error) {
 		return nil, fmt.Errorf("workers %d out of range [0, %d] (0 = service default)",
 			spec.Workers, s.cfg.SimWorkers)
 	}
+	if err := validateTenancy(spec); err != nil {
+		return nil, err
+	}
 	if err := validatePatterns(spec.Patterns); err != nil {
 		return nil, err
 	}
@@ -441,54 +549,172 @@ func (s *Service) kindAllowed(kindName string) bool {
 	return false
 }
 
-// Submit validates spec, enqueues a job and returns its id. The job
-// runs asynchronously on the bounded pool; resolution errors (bad
-// netlist, unknown name) surface as a failed job status.
+// Submit validates spec, enqueues a job on its tenant's queue and
+// returns its id. The job runs asynchronously on the bounded pool;
+// resolution errors (bad netlist, unknown name) surface as a failed
+// job status.
+//
+// A spec carrying an idempotency key that an earlier accepted submit
+// already used (same tenant) is not enqueued again: Submit returns the
+// original job id. Admission control rejects submits with
+// ErrOverloaded once the global or per-tenant queue bound is reached.
+// On a journal-backed service Submit returns only after the submitted
+// record is durable — an acknowledged job survives a crash.
 func (s *Service) Submit(spec JobSpec) (string, error) {
 	k, err := s.validateSpec(spec)
 	if err != nil {
 		return "", err
 	}
 
+	// Phase 1 (under mu): dedupe, admission, id + idempotency-key
+	// reservation, registration. The job is visible to Status and to
+	// Drain's wg accounting from here on, but not yet dispatchable.
 	s.mu.Lock()
 	if s.draining {
+		s.rejected++
 		s.mu.Unlock()
+		s.met.jobsRejected.With(reasonDraining).Inc()
 		return "", ErrDraining
 	}
-	s.seq++
-	s.submitted++
-	id := fmt.Sprintf("j%d", s.seq)
-	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{
-		id:     id,
-		spec:   spec,
-		kind:   k,
-		ctx:    ctx,
-		cancel: cancel,
-		now:    s.now,
-		met:    s.met,
-		timing: Timing{SubmittedAt: s.now()},
-		status: JobStatus{
-			ID:         id,
-			Kind:       NormalizeKind(spec.Kind),
-			State:      StateQueued,
-			FaultShard: spec.FaultShard,
-		},
+	ikey := idemCacheKey(spec.Tenant, spec.IdempotencyKey)
+	if ikey != "" {
+		if id, ok := s.idem[ikey]; ok {
+			s.deduped++
+			s.mu.Unlock()
+			s.met.jobsDeduped.Inc()
+			return id, nil
+		}
 	}
-	j.status.Timing = j.timing.Snapshot()
-	s.met.jobsSubmitted.With(j.status.Kind).Inc()
-	s.met.jobsQueued.Inc()
+	if err := s.admitLocked(spec.Tenant); err != nil {
+		s.rejected++
+		s.mu.Unlock()
+		return "", err
+	}
+	s.seq++
+	id := fmt.Sprintf("j%d", s.seq)
+	j := s.newJob(id, spec, k)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
-	s.evictOldJobsLocked()
+	if ikey != "" {
+		s.idem[ikey] = id
+	}
 	// Registered under the lock: a concurrent Drain either sees the
 	// draining flag before this Submit passed the check above, or its
 	// wg.Wait observes this job — never neither.
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	go s.run(j)
+	// Phase 2 (no locks): make the submitted record durable. The
+	// journal group-commits concurrent submitters into shared fsyncs.
+	if s.jnl != nil {
+		if err := s.journalSubmitted(j); err != nil {
+			s.mu.Lock()
+			delete(s.jobs, id)
+			if ikey != "" {
+				delete(s.idem, ikey)
+			}
+			for i, oid := range s.order {
+				if oid == id {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+			s.wg.Done()
+			return "", fmt.Errorf("service: journal: %w", err)
+		}
+	}
+
+	// Phase 3 (under mu): count and enqueue; the dispatcher takes it
+	// from here. A Cancel or Drain that raced phase 2 only cancelled
+	// j's context — the dispatcher still dispatches it and run()
+	// performs the cancelled transition.
+	s.mu.Lock()
+	s.submitted++
+	s.enqueueLocked(j)
+	s.evictOldJobsLocked()
+	s.mu.Unlock()
+	s.schedCond.Signal()
 	return id, nil
+}
+
+// newJob builds a queued job for spec. Caller holds s.mu (for the
+// clock) and registers the returned job itself.
+func (s *Service) newJob(id string, spec JobSpec, k jobKind) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:      id,
+		spec:    spec,
+		kind:    k,
+		tenant:  spec.Tenant,
+		idemKey: idemCacheKey(spec.Tenant, spec.IdempotencyKey),
+		ctx:     ctx,
+		cancel:  cancel,
+		now:     s.now,
+		met:     s.met,
+		timing:  Timing{SubmittedAt: s.now()},
+		status: JobStatus{
+			ID:         id,
+			Kind:       NormalizeKind(spec.Kind),
+			Tenant:     spec.Tenant,
+			State:      StateQueued,
+			FaultShard: spec.FaultShard,
+		},
+	}
+	j.status.Timing = j.timing.Snapshot()
+	return j
+}
+
+// admitLocked is the admission check: reject (rather than queue
+// without bound) once the global or per-tenant queued-job budget is
+// spent. Caller holds s.mu and counts the rejection.
+func (s *Service) admitLocked(tenant string) error {
+	if s.cfg.MaxQueuedJobs > 0 && s.sched.queued >= s.cfg.MaxQueuedJobs {
+		s.met.jobsRejected.With(reasonOverloaded).Inc()
+		return fmt.Errorf("%w (%d jobs queued, global bound %d)",
+			ErrOverloaded, s.sched.queued, s.cfg.MaxQueuedJobs)
+	}
+	if tl, ok := s.cfg.TenantLimits[tenant]; ok && tl.MaxQueued > 0 {
+		if d := s.sched.depth(tenant); d >= tl.MaxQueued {
+			s.met.jobsRejected.With(reasonTenantLimit).Inc()
+			return fmt.Errorf("%w (tenant %q has %d jobs queued, bound %d)",
+				ErrOverloaded, tenantLabel(tenant), d, tl.MaxQueued)
+		}
+	}
+	return nil
+}
+
+// enqueueLocked puts j on its tenant queue and settles the queue
+// gauges. Caller holds s.mu and signals schedCond after unlocking.
+func (s *Service) enqueueLocked(j *job) {
+	tq := s.sched.tenantFor(j.tenant, s.cfg.TenantLimits)
+	s.sched.enqueue(tq, j)
+	s.met.jobsSubmitted.With(j.status.Kind).Inc()
+	s.met.jobsQueued.Inc()
+	s.met.tenantQueueDepth.With(tenantLabel(j.tenant)).Inc()
+}
+
+// dispatch is the scheduler loop, one goroutine per service: acquire a
+// pool slot, pick the next job across tenant queues by weighted fair
+// order, run it. It exits when the scheduler is closed (Drain or
+// Close) and all queues are empty.
+func (s *Service) dispatch() {
+	for {
+		s.sem <- struct{}{}
+		s.mu.Lock()
+		for s.sched.queued == 0 && !s.schedClosed {
+			s.schedCond.Wait()
+		}
+		if s.sched.queued == 0 {
+			s.mu.Unlock()
+			<-s.sem
+			return
+		}
+		j := s.sched.pop()
+		s.met.tenantQueueDepth.With(tenantLabel(j.tenant)).Dec()
+		s.mu.Unlock()
+		go s.run(j)
+	}
 }
 
 // Status returns the current status of a job.
@@ -524,23 +750,32 @@ func (s *Service) Jobs() []JobStatus {
 // the job is queued or running, ErrCancelled for cancelled jobs, and
 // the job's failure for failed jobs.
 func (s *Service) ResultAny(id string) (any, error) {
+	res, _, err := s.result(id)
+	return res, err
+}
+
+// result returns a finished job's typed payload plus, for jobs
+// replayed from the journal, the journaled wire bytes — the HTTP
+// result endpoint serves those verbatim so a restart is byte-invisible
+// to polling clients.
+func (s *Service) result(id string) (any, []byte, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		return nil, ErrNotFound
+		return nil, nil, ErrNotFound
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch j.status.State {
 	case StateDone:
-		return j.result, nil
+		return j.result, j.rawResult, nil
 	case StateFailed:
-		return nil, fmt.Errorf("service: job %s failed: %s", id, j.status.Error)
+		return nil, nil, fmt.Errorf("service: job %s failed: %s", id, j.status.Error)
 	case StateCancelled:
-		return nil, fmt.Errorf("%w (job %s)", ErrCancelled, id)
+		return nil, nil, fmt.Errorf("%w (job %s)", ErrCancelled, id)
 	}
-	return nil, ErrNotDone
+	return nil, nil, ErrNotDone
 }
 
 // Result is ResultAny for grade jobs, the dominant workload; it errors
@@ -567,47 +802,42 @@ func (s *Service) Result(id string) (*JobResult, error) {
 func (s *Service) Cancel(id string) (JobStatus, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		return JobStatus{}, ErrNotFound
 	}
+	// Winning the dequeue makes this Cancel the owner of the terminal
+	// transition: the dispatcher can no longer claim the job, so the
+	// slot it would have used is never consumed.
+	dequeued := s.sched.remove(j)
+	if dequeued {
+		s.met.tenantQueueDepth.With(tenantLabel(j.tenant)).Dec()
+	}
+	s.mu.Unlock()
 	// Signal first: if the run goroutine is between barriers it will
 	// observe the cancellation at the next one.
 	j.cancel()
 
-	j.mu.Lock()
-	switch j.status.State {
-	case StateDone, StateFailed:
+	if dequeued {
+		s.finish(j, StateCancelled, nil, nil)
+		s.wg.Done()
+		j.mu.Lock()
 		st := j.status
 		j.mu.Unlock()
-		return st, ErrFinished
-	case StateCancelled:
-		st := j.status
-		j.mu.Unlock()
-		return st, nil
-	case StateQueued:
-		// The run goroutine has not claimed the job yet; finalize here
-		// so the slot it would have used is never consumed. run()
-		// observes the terminal state and returns without working.
-		j.status.State = StateCancelled
-		started := j.finalizeLocked()
-		subs := j.subs
-		j.subs = nil
-		st := j.status
-		j.mu.Unlock()
-		for _, ch := range subs {
-			close(ch)
-		}
-		s.countTerminal(st.Kind, StateCancelled, started)
-		s.mu.Lock()
-		s.cancelled++
-		s.mu.Unlock()
 		return st, nil
 	}
-	// Running: the simulation stops within one block; the run
-	// goroutine performs the terminal transition.
+
+	j.mu.Lock()
 	st := j.status
 	j.mu.Unlock()
+	switch st.State {
+	case StateDone, StateFailed:
+		return st, ErrFinished
+	}
+	// Cancelled already, running (stops within one block; the run
+	// goroutine performs the terminal transition), or in the brief
+	// submit/dispatch windows where the dispatcher will hand it to
+	// run(), which observes the cancelled context immediately.
 	return st, nil
 }
 
@@ -654,6 +884,8 @@ func (s *Service) Stats() Stats {
 		JobsDone:      s.done,
 		JobsFailed:    s.failed,
 		JobsCancelled: s.cancelled,
+		JobsDeduped:   s.deduped,
+		JobsRejected:  s.rejected,
 		UptimeSeconds: s.now().Sub(s.start).Seconds(),
 		Version:       obs.Version,
 	}
@@ -671,28 +903,60 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// Close waits for all submitted jobs to finish.
-func (s *Service) Close() { s.wg.Wait() }
+// Close waits for all submitted jobs to finish, then stops the
+// dispatcher goroutine. Jobs submitted after Close are accepted but
+// not dispatched; use Drain for an orderly shutdown that rejects them.
+func (s *Service) Close() {
+	s.wg.Wait()
+	s.closeScheduler()
+}
 
 // Drain shuts the service down gracefully: Submit rejects new jobs
 // with ErrDraining from the moment Drain is called, every queued job
-// is cancelled immediately, every running job is cancelled at its next
-// 64-pattern block barrier (their streams end with the cancelled
-// status), and Drain returns once all job goroutines have finished.
-// Idempotent: concurrent and repeated calls all wait for the same
-// quiescent state.
+// is dropped — cancelled and counted in the jobs_rejected_total
+// metric's drain reason, so a shutdown's collateral is visible, not
+// silent — every running job is cancelled at its next 64-pattern block
+// barrier (their streams end with the cancelled status), and Drain
+// returns once all job goroutines have finished and the dispatcher has
+// been stopped. On a journal-backed service the drops are journaled as
+// cancelled, so a restart does not resurrect them. Idempotent:
+// concurrent and repeated calls all wait for the same quiescent state.
 func (s *Service) Drain() {
 	s.mu.Lock()
 	s.draining = true
+	dropped := s.sched.drainAll()
+	for _, j := range dropped {
+		s.met.tenantQueueDepth.With(tenantLabel(j.tenant)).Dec()
+	}
+	s.rejected += uint64(len(dropped))
 	ids := append([]string(nil), s.order...)
 	s.mu.Unlock()
 	s.met.draining.Set(1)
+	for _, j := range dropped {
+		s.met.jobsRejected.With(reasonDrain).Inc()
+		j.cancel()
+		s.finish(j, StateCancelled, nil, nil)
+		s.wg.Done()
+	}
 	for _, id := range ids {
 		// ErrFinished and ErrNotFound (evicted) are fine: the job is
 		// already out of the way.
 		s.Cancel(id)
 	}
 	s.wg.Wait()
+	s.closeScheduler()
+	if s.jnl != nil {
+		s.jnl.Close()
+	}
+}
+
+// closeScheduler stops the dispatcher goroutine once its queues are
+// empty. Idempotent.
+func (s *Service) closeScheduler() {
+	s.mu.Lock()
+	s.schedClosed = true
+	s.mu.Unlock()
+	s.schedCond.Broadcast()
 }
 
 // evictOldJobsLocked drops the oldest finished jobs once the retained
@@ -713,6 +977,9 @@ func (s *Service) evictOldJobsLocked() {
 		j.mu.Unlock()
 		if excess > 0 && done {
 			delete(s.jobs, id)
+			if j.idemKey != "" && s.idem[j.idemKey] == id {
+				delete(s.idem, j.idemKey)
+			}
 			excess--
 			continue
 		}
@@ -721,27 +988,33 @@ func (s *Service) evictOldJobsLocked() {
 	s.order = kept
 }
 
-// run executes one job on the bounded pool: it claims the running
-// state, hands the body to the job's kind, and performs the terminal
-// transition the kind's outcome calls for. A context error from the
-// kind means the job was cancelled at a barrier; any other error fails
-// the job. The body runs under pprof labels (kind, job), so CPU
-// profiles attribute simulator and generator samples to the job that
-// spent them — worker goroutines spawned inside inherit the labels.
+// run executes one dispatched job: it claims the running state, hands
+// the body to the job's kind, and performs the terminal transition the
+// kind's outcome calls for. The dispatcher acquired the pool slot;
+// run releases it. A context error from the kind means the job was
+// cancelled at a barrier; any other error fails the job. The body runs
+// under pprof labels (kind, job), so CPU profiles attribute simulator
+// and generator samples to the job that spent them — worker goroutines
+// spawned inside inherit the labels.
 func (s *Service) run(j *job) {
 	defer s.wg.Done()
 	defer func() {
 		if p := recover(); p != nil {
-			s.fail(j, fmt.Errorf("internal error: %v", p))
+			s.finish(j, StateFailed, nil, fmt.Errorf("internal error: %v", p))
 		}
 	}()
-	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 
+	// A job cancelled after the dispatcher claimed it (or in the
+	// submit windows before it was enqueued) reaches here with its
+	// context already cancelled; transition it without working.
+	if j.ctx.Err() != nil {
+		s.finish(j, StateCancelled, nil, nil)
+		return
+	}
+
 	// Running covers circuit resolution too: generating a synthetic
-	// suite circuit can take seconds and must not look queued. A job
-	// cancelled while queued was already finalized by Cancel; do not
-	// resurrect it.
+	// suite circuit can take seconds and must not look queued.
 	j.mu.Lock()
 	if terminal(j.status.State) {
 		j.mu.Unlock()
@@ -756,84 +1029,72 @@ func (s *Service) run(j *job) {
 	s.met.jobsQueued.Dec()
 	s.met.jobsRunning.Inc()
 	s.met.queueWait.With(kind).Observe(wait)
+	s.journalStarted(j)
 
 	var result any
 	var err error
 	pprof.Do(j.ctx, pprof.Labels("kind", kind, "job", j.id), func(context.Context) {
 		result, err = j.kind.run(s, j)
 	})
-	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			s.finishCancelled(j)
-		} else {
-			s.fail(j, err)
-		}
+	switch {
+	case err == nil:
+		s.finish(j, StateDone, result, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.finish(j, StateCancelled, nil, nil)
+	default:
+		s.finish(j, StateFailed, nil, err)
+	}
+}
+
+// finish performs a job's terminal transition — the single path every
+// outcome (done, failed, cancelled-queued, cancelled-running,
+// drain-dropped, panic recovery) goes through: state + timing + result
+// publication under the job lock, subscriber close, metric settlement,
+// the journal's finished record, and the service counters. At most one
+// caller wins; later calls are no-ops, so racing finishers (a Cancel
+// against the run goroutine, say) are safe.
+func (s *Service) finish(j *job, state string, result any, cause error) {
+	j.mu.Lock()
+	if terminal(j.status.State) {
+		j.mu.Unlock()
 		return
 	}
-
-	j.mu.Lock()
-	j.status.State = StateDone
-	j.result = result
-	j.finalizeLocked()
+	j.status.State = state
+	if cause != nil {
+		j.status.Error = cause.Error()
+	}
+	if result != nil {
+		j.result = result
+	}
+	started := j.finalizeLocked()
+	kind := j.status.Kind
 	run := j.timing.RunSeconds
+	st := j.status
+	res := j.result
 	subs := j.subs
 	j.subs = nil
 	j.mu.Unlock()
-	for _, ch := range subs {
-		close(ch)
-	}
-	s.countTerminal(kind, StateDone, true)
-	s.met.duration.With(kind).Observe(run)
-	s.mu.Lock()
-	s.done++
-	s.mu.Unlock()
-}
 
-func (s *Service) fail(j *job, err error) {
-	j.mu.Lock()
-	if terminal(j.status.State) {
-		// Already terminal (e.g. the recover path after fail).
-		j.mu.Unlock()
-		return
-	}
-	j.status.State = StateFailed
-	j.status.Error = err.Error()
-	started := j.finalizeLocked()
-	kind := j.status.Kind
-	subs := j.subs
-	j.subs = nil
-	j.mu.Unlock()
 	for _, ch := range subs {
 		close(ch)
 	}
-	s.countTerminal(kind, StateFailed, started)
-	s.logger.Error("job failed", "job", j.id, "kind", kind, "err", err)
-	s.mu.Lock()
-	s.failed++
-	s.mu.Unlock()
-}
-
-// finishCancelled performs the terminal transition of a running job
-// whose context was cancelled: subscribers see their channel close and
-// the final status reads cancelled.
-func (s *Service) finishCancelled(j *job) {
-	j.mu.Lock()
-	if terminal(j.status.State) {
-		j.mu.Unlock()
-		return
+	s.countTerminal(kind, state, started)
+	switch state {
+	case StateDone:
+		s.met.duration.With(kind).Observe(run)
+	case StateFailed:
+		s.logger.Error("job failed", "job", j.id, "kind", kind, "err", cause)
 	}
-	j.status.State = StateCancelled
-	started := j.finalizeLocked()
-	kind := j.status.Kind
-	subs := j.subs
-	j.subs = nil
-	j.mu.Unlock()
-	for _, ch := range subs {
-		close(ch)
-	}
-	s.countTerminal(kind, StateCancelled, started)
+	s.journalFinished(j, st, res)
 	s.mu.Lock()
-	s.cancelled++
+	switch state {
+	case StateDone:
+		s.done++
+	case StateFailed:
+		s.failed++
+	case StateCancelled:
+		s.cancelled++
+	}
 	s.mu.Unlock()
 }
 

@@ -94,6 +94,11 @@ for series in \
   'adifo_registry_good_misses_total ' \
   'adifo_http_write_errors_total ' \
   'adifo_draining 0' \
+  'adifo_jobs_rejected_total{reason="overloaded"} 0' \
+  'adifo_jobs_deduplicated_total ' \
+  'adifo_tenant_queue_depth{tenant="default"}' \
+  'adifo_journal_enabled 0' \
+  'adifo_journal_appends_total 0' \
 ; do
   grep -qF "$series" "$metrics" || {
     echo "required series missing from /metrics: $series" >&2
