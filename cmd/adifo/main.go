@@ -282,6 +282,7 @@ func grade(o options, out *os.File) error {
 	fmt.Fprintf(out, "circuit     %s (fingerprint %s)\n", res.Circuit, res.Fingerprint)
 	fmt.Fprintf(out, "mode        %s\n", res.Mode)
 	printTiming(out, res.Timing)
+	printTrace(out, res.TraceID)
 	fmt.Fprintf(out, "vectors     %d (%d simulated)\n", res.Vectors, res.VectorsUsed)
 	fmt.Fprintf(out, "faults      %d, detected %d, coverage %.2f%%\n",
 		res.Faults, res.Detected, 100*res.Coverage)
@@ -456,6 +457,7 @@ func genRemote(o options, kind adifo.OrderKind, out *os.File) error {
 	fmt.Fprintf(out, "circuit     %s (fingerprint %s)\n", res.Circuit, res.Fingerprint)
 	fmt.Fprintf(out, "order       %s, U %d vectors\n", res.Order, res.Vectors)
 	printTiming(out, res.Timing)
+	printTrace(out, res.TraceID)
 	printGenSummary(out, o.limit, len(res.Tests), res.Detected, res.Faults, res.Coverage,
 		res.AVE, res.AtpgCalls, res.Backtracks, func(i int) (string, int) {
 			return res.Tests[i], res.TargetOf[i]
@@ -501,6 +503,16 @@ func printTiming(out *os.File, t *adifo.JobTiming) {
 		}
 	}
 	fmt.Fprintf(out, "phases      %s\n", strings.Join(parts, ", "))
+}
+
+// printTrace prints the job's distributed-trace id, the key into the
+// server's /debug/traces flight recorder (and into log lines, which
+// carry it as trace_id). Old servers send none; print nothing.
+func printTrace(out *os.File, traceID string) {
+	if traceID == "" {
+		return
+	}
+	fmt.Fprintf(out, "trace       %s\n", traceID)
 }
 
 // vectorString renders a test vector as a bit string, matching the
@@ -570,6 +582,7 @@ func orderRemote(o options, out *os.File) error {
 	fmt.Fprintf(out, "U %d vectors; |F_U| = %d of %d faults; ADImin=%d ADImax=%d ratio=%.2f\n",
 		res.Vectors, res.NumDetected, res.Faults, res.ADIMin, res.ADIMax, res.Ratio)
 	printTiming(out, res.Timing)
+	printTrace(out, res.TraceID)
 	fmt.Fprintf(out, "order %s:\n", res.Order)
 	for pos, fi := range res.Perm {
 		if o.limit > 0 && pos >= o.limit {

@@ -152,8 +152,8 @@ func TestGenRemoteMatchesLocal(t *testing.T) {
 	pick := func(out string) []string {
 		var rows []string
 		for _, line := range strings.Split(out, "\n") {
-			if strings.HasPrefix(line, "timing") {
-				continue // server-side wall clock, remote-only by design
+			if strings.HasPrefix(line, "timing") || strings.HasPrefix(line, "trace ") {
+				continue // server-side wall clock and trace id, remote-only by design
 			}
 			if strings.HasPrefix(line, "t") || strings.HasPrefix(line, "tests ") {
 				rows = append(rows, line)

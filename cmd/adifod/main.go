@@ -165,12 +165,15 @@ func main() {
 }
 
 // debugMux is the internal-only debug surface: the same Prometheus
-// exposition the job API serves, plus net/http/pprof. It is never
-// mounted on the public listener — profile endpoints can stall a
-// process and belong behind the firewall.
+// exposition the job API serves, the trace flight recorder, plus
+// net/http/pprof. It is never mounted on the public listener —
+// profile endpoints can stall a process and belong behind the
+// firewall.
 func debugMux(g *adifo.LocalGrader) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", g.MetricsHandler())
+	mux.Handle("GET /debug/traces", g.TracesHandler())
+	mux.Handle("GET /debug/traces/{id}", g.TracesHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

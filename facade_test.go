@@ -336,6 +336,7 @@ func TestClusterGraderParity(t *testing.T) {
 		cp := *r
 		cp.ID = "X"
 		cp.Timing = nil // wall-clock, never identical between runs
+		cp.TraceID = "" // run identity, never identical between runs
 		b, err := json.Marshal(&cp)
 		if err != nil {
 			t.Fatal(err)

@@ -185,6 +185,13 @@ func (g *LocalGrader) Handler() http.Handler { return g.svc.Handler() }
 // (internal) listener; Handler already serves it at GET /metrics.
 func (g *LocalGrader) MetricsHandler() http.Handler { return g.svc.Metrics().Handler() }
 
+// TracesHandler returns the engine's trace flight recorder, mountable
+// at /debug/traces: a JSON list of recently retained traces (plus the
+// slowest jobs per kind) and a per-trace span tree at
+// /debug/traces/{trace_id}. adifod mounts it on the -debug-addr
+// listener.
+func (g *LocalGrader) TracesHandler() http.Handler { return g.svc.Traces().Handler() }
+
 // Submit implements Grader. Graders run grade jobs; specs of other
 // kinds are rejected here rather than failing later at Result (use
 // NewRemoteGenerator for atpg, NewRemoteOrderer for adi_order — the
@@ -382,6 +389,12 @@ func (g *ClusterGrader) Shards(id string) ([]ClusterShardStatus, error) {
 // endpoint: per-backend probe latency, shard retries, flapping
 // exclusions and merge time.
 func (g *ClusterGrader) MetricsHandler() http.Handler { return g.co.Metrics().Handler() }
+
+// TracesHandler returns the coordinator's trace flight recorder,
+// mountable at /debug/traces. A cluster trace covers the whole
+// fan-out: the root span, one span per shard attempt (reruns after a
+// backend death included) and the merge.
+func (g *ClusterGrader) TracesHandler() http.Handler { return g.co.Traces().Handler() }
 
 // Close implements Grader: it waits for the orchestration of every
 // submitted cluster job to finish.

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"github.com/eda-go/adifo/internal/obs"
+	"github.com/eda-go/adifo/internal/obs/trace"
 	"github.com/eda-go/adifo/internal/service"
 	"github.com/eda-go/adifo/internal/service/client"
 )
@@ -132,6 +133,12 @@ type Coordinator struct {
 	met     *clusterMetrics
 	now     func() time.Time
 
+	// traces records the coordinator's side of every cluster job's
+	// trace: the fan-out root, one span per shard attempt (including
+	// reruns after backend deaths), and the merge. The sub-jobs join
+	// the same trace on their backends via traceparent propagation.
+	traces *trace.Recorder
+
 	// nonce distinguishes this coordinator incarnation in the
 	// idempotency keys it mints for shard sub-jobs: a restarted
 	// coordinator re-placing the "same" shard must not collide with a
@@ -161,6 +168,7 @@ func New(urls []string, opts Options) (*Coordinator, error) {
 		metrics: obs.NewRegistry(),
 		now:     time.Now,
 		nonce:   newNonce(),
+		traces:  trace.NewRecorder(trace.RecorderOptions{}),
 	}
 	co.met = newClusterMetrics(co.metrics)
 	seen := make(map[string]bool)
@@ -181,6 +189,10 @@ func New(urls []string, opts Options) (*Coordinator, error) {
 // Metrics exposes the coordinator's metric registry, so an embedder
 // can mount its Prometheus exposition handler.
 func (co *Coordinator) Metrics() *obs.Registry { return co.metrics }
+
+// Traces exposes the coordinator's trace flight recorder, so an
+// embedder can mount its /debug/traces handler.
+func (co *Coordinator) Traces() *trace.Recorder { return co.traces }
 
 // newNonce mints the coordinator incarnation nonce for shard
 // idempotency keys.
@@ -249,6 +261,14 @@ type cjob struct {
 	spec   service.JobSpec
 	shards []*shard
 	merge  *merger
+
+	// tctx carries the job's root span (plus the coordinator's
+	// recorder); shard-attempt and merge spans start under it, and
+	// outbound backend calls inject its traceparent. span is that root,
+	// ended once by finalize. Both are set before the shard goroutines
+	// start and never reassigned.
+	tctx context.Context
+	span *trace.Span
 
 	// pubMu serializes merge-and-publish pairs so merged events reach
 	// subscribers in block order even when shard streams race.
@@ -435,6 +455,20 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 		status: service.JobStatus{ID: id, Kind: service.KindGrade, State: service.StateRunning},
 		timing: service.Timing{SubmittedAt: now, StartedAt: now},
 	}
+	// The job's root span: it joins the caller's trace when the submit
+	// context carries one (a span, or a remote SpanContext from an
+	// incoming traceparent), else starts a fresh trace. One trace then
+	// covers the whole fan-out — every shard attempt, every backend
+	// sub-job, every rerun after a death, and the merge.
+	tctx := trace.WithRecorder(context.Background(), co.traces)
+	if sc := trace.SpanContextFromContext(ctx); sc.IsValid() {
+		tctx = trace.ContextWithRemote(tctx, sc)
+	}
+	j.tctx, j.span = trace.Start(tctx, "cluster.grade", trace.Root())
+	j.span.SetAttr("kind", service.KindGrade)
+	j.span.SetAttr("job", id)
+	j.span.SetAttrInt("shards", count)
+	j.status.TraceID = j.span.Context().TraceID.String()
 	for i := 0; i < count; i++ {
 		j.shards = append(j.shards, &shard{index: i, count: count, state: service.StateRunning})
 	}
@@ -442,7 +476,11 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 	// Synchronous placement: every shard gets a sub-job before Submit
 	// returns. A validation error aborts the whole job (and cancels any
 	// sub-jobs already placed); a transport error re-places the shard
-	// on another healthy backend.
+	// on another healthy backend. Placement calls run under the root
+	// span — the caller's deadline still governs them — so the client
+	// injects the job's traceparent and every backend sub-job joins the
+	// trace.
+	pctx := trace.ContextWithSpan(ctx, j.span)
 	for i, sh := range j.shards {
 		sub := spec
 		sub.FaultShard = &service.FaultShard{Index: i, Count: count}
@@ -455,7 +493,7 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 				co.exclude(b)
 				continue
 			}
-			rid, err := b.cl.Submit(ctx, sub)
+			rid, err := b.cl.Submit(pctx, sub)
 			if err == nil {
 				sh.mu.Lock()
 				sh.backend, sh.remoteID = b, rid
@@ -487,6 +525,8 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 				delete(co.idem, callerKey)
 				co.mu.Unlock()
 			}
+			j.span.SetStatus(trace.StatusError, "placement failed")
+			j.span.End()
 			return "", fmt.Errorf("cluster: could not place shard %d/%d: %w", i, count, lastErr)
 		}
 	}
@@ -521,94 +561,115 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 // runShard drives one shard to a terminal state: stream the sub-job,
 // fetch its result, and on any transport failure retry the whole shard
 // on another healthy backend (shard jobs are deterministic, so a rerun
-// reproduces the exact same result).
+// reproduces the exact same result). Each attempt — the original
+// placement and every rerun — is one span on the cluster job's trace.
 func (co *Coordinator) runShard(j *cjob, sh *shard) {
-	ctx := context.Background()
-	for {
-		b, rid := sh.placement()
-		if j.isCancelled() {
-			// A Cancel that raced a retry placement may have missed this
-			// sub-job (cancelSubJobs snapshots placements); cancel it
-			// here so the backend stops and the stream below terminates.
-			cctx, cancel := context.WithTimeout(ctx, co.opts.ProbeTimeout)
-			b.cl.Cancel(cctx, rid)
-			cancel()
-		}
-		st, err := b.cl.Stream(ctx, rid, func(ev service.ProgressEvent) {
-			j.pubMu.Lock()
-			co.publish(j, j.merge.update(sh.index, ev))
-			j.pubMu.Unlock()
-		})
-		if err == nil {
-			switch st.State {
-			case service.StateDone:
-				res, rerr := b.cl.Result(ctx, rid)
-				if rerr == nil {
-					b.markOK()
-					j.pubMu.Lock()
-					j.merge.markDone(sh.index, st)
-					co.publish(j, j.merge.collect())
-					j.pubMu.Unlock()
-					sh.finish(service.StateDone, res, nil)
-					return
-				}
-				// Transport failure or a refusal (e.g. the finished job
-				// was evicted before the fetch): the shared triage below
-				// retries what a rerun can recover and fails the rest.
-				err = rerr
-			case service.StateCancelled:
-				if j.isCancelled() {
-					sh.finish(service.StateCancelled, nil, nil)
-					return
-				}
-				// The backend cancelled the sub-job on its own — a
-				// graceful drain (SIGTERM) rather than our fan-out. To
-				// the cluster that is a lost shard like any other death:
-				// retry it on a surviving backend.
-				err = fmt.Errorf("backend %s cancelled sub-job %s (draining?)", b.url, rid)
-			case service.StateFailed:
-				co.failShard(j, sh, fmt.Errorf("backend %s: %s", b.url, st.Error))
-				return
-			default:
-				err = fmt.Errorf("stream of %s on %s ended in non-terminal state %q", rid, b.url, st.State)
-			}
-		}
-		var apiErr *service.APIError
-		if errors.As(err, &apiErr) {
-			// The backend answered but refused (job evicted, unknown id):
-			// not a transport failure, retrying elsewhere cannot help a
-			// spec-level refusal, but a lost job is retried like a death.
-			if !errors.Is(err, service.ErrNotFound) {
-				co.failShard(j, sh, err)
-				return
-			}
-		}
-		b.markFailure()
-		if j.isCancelled() {
-			sh.finish(service.StateCancelled, nil, nil)
-			return
-		}
-		sh.mu.Lock()
-		sh.retries++
-		retries := sh.retries
-		sh.mu.Unlock()
-		if retries > co.opts.MaxShardRetries {
-			co.failShard(j, sh, fmt.Errorf("shard %d/%d: %d retries exhausted, last error: %v",
-				sh.index, sh.count, co.opts.MaxShardRetries, err))
-			return
-		}
-		co.logger.Warn("shard lost, retrying elsewhere", "backend", b.url,
-			"job", j.id, "shard", sh.index, "shards", sh.count, "err", err)
-		if perr := co.replaceShard(ctx, j, sh, b); perr != nil {
-			if j.isCancelled() {
-				sh.finish(service.StateCancelled, nil, nil)
-				return
-			}
-			co.failShard(j, sh, fmt.Errorf("shard %d/%d: %v (after %v)", sh.index, sh.count, perr, err))
-			return
-		}
+	for co.shardAttempt(j, sh) {
 		co.met.shardRetries.Inc()
 	}
+}
+
+// shardAttempt supervises one placement of sh until the sub-job
+// terminates or is lost. It returns true when the shard was lost and a
+// rerun has been placed — the caller loops; false means the shard
+// reached a terminal state (sh.finish or failShard was called).
+func (co *Coordinator) shardAttempt(j *cjob, sh *shard) (rerun bool) {
+	b, rid := sh.placement()
+	sh.mu.Lock()
+	retries := sh.retries
+	sh.mu.Unlock()
+	ctx, span := trace.Start(j.tctx, "shard")
+	span.SetAttrInt("shard", sh.index)
+	span.SetAttr("backend", b.url)
+	span.SetAttr("remote_id", rid)
+	span.SetAttrInt("retry", retries)
+	defer span.End()
+
+	if j.isCancelled() {
+		// A Cancel that raced a retry placement may have missed this
+		// sub-job (cancelSubJobs snapshots placements); cancel it
+		// here so the backend stops and the stream below terminates.
+		cctx, cancel := context.WithTimeout(ctx, co.opts.ProbeTimeout)
+		b.cl.Cancel(cctx, rid)
+		cancel()
+	}
+	st, err := b.cl.Stream(ctx, rid, func(ev service.ProgressEvent) {
+		j.pubMu.Lock()
+		co.publish(j, j.merge.update(sh.index, ev))
+		j.pubMu.Unlock()
+	})
+	if err == nil {
+		switch st.State {
+		case service.StateDone:
+			res, rerr := b.cl.Result(ctx, rid)
+			if rerr == nil {
+				b.markOK()
+				j.pubMu.Lock()
+				j.merge.markDone(sh.index, st)
+				co.publish(j, j.merge.collect())
+				j.pubMu.Unlock()
+				sh.finish(service.StateDone, res, nil)
+				span.SetStatus(trace.StatusOK, "")
+				return false
+			}
+			// Transport failure or a refusal (e.g. the finished job
+			// was evicted before the fetch): the shared triage below
+			// retries what a rerun can recover and fails the rest.
+			err = rerr
+		case service.StateCancelled:
+			if j.isCancelled() {
+				sh.finish(service.StateCancelled, nil, nil)
+				return false
+			}
+			// The backend cancelled the sub-job on its own — a
+			// graceful drain (SIGTERM) rather than our fan-out. To
+			// the cluster that is a lost shard like any other death:
+			// retry it on a surviving backend.
+			err = fmt.Errorf("backend %s cancelled sub-job %s (draining?)", b.url, rid)
+		case service.StateFailed:
+			span.SetStatus(trace.StatusError, st.Error)
+			co.failShard(j, sh, fmt.Errorf("backend %s: %s", b.url, st.Error))
+			return false
+		default:
+			err = fmt.Errorf("stream of %s on %s ended in non-terminal state %q", rid, b.url, st.State)
+		}
+	}
+	span.SetStatus(trace.StatusError, err.Error())
+	var apiErr *service.APIError
+	if errors.As(err, &apiErr) {
+		// The backend answered but refused (job evicted, unknown id):
+		// not a transport failure, retrying elsewhere cannot help a
+		// spec-level refusal, but a lost job is retried like a death.
+		if !errors.Is(err, service.ErrNotFound) {
+			co.failShard(j, sh, err)
+			return false
+		}
+	}
+	b.markFailure()
+	if j.isCancelled() {
+		sh.finish(service.StateCancelled, nil, nil)
+		return false
+	}
+	sh.mu.Lock()
+	sh.retries++
+	retries = sh.retries
+	sh.mu.Unlock()
+	if retries > co.opts.MaxShardRetries {
+		co.failShard(j, sh, fmt.Errorf("shard %d/%d: %d retries exhausted, last error: %v",
+			sh.index, sh.count, co.opts.MaxShardRetries, err))
+		return false
+	}
+	co.logger.WarnContext(ctx, "shard lost, retrying elsewhere", "backend", b.url,
+		"job", j.id, "shard", sh.index, "shards", sh.count, "err", err)
+	if perr := co.replaceShard(ctx, j, sh, b); perr != nil {
+		if j.isCancelled() {
+			sh.finish(service.StateCancelled, nil, nil)
+			return false
+		}
+		co.failShard(j, sh, fmt.Errorf("shard %d/%d: %v (after %v)", sh.index, sh.count, perr, err))
+		return false
+	}
+	return true
 }
 
 // replaceShard resubmits sh on a healthy backend, preferring backends
@@ -652,7 +713,7 @@ func (co *Coordinator) replaceShard(ctx context.Context, j *cjob, sh *shard, fai
 		sh.mu.Lock()
 		sh.backend, sh.remoteID = b, rid
 		sh.mu.Unlock()
-		co.logger.Info("shard replaced", "backend", b.url,
+		co.logger.InfoContext(ctx, "shard replaced", "backend", b.url,
 			"job", j.id, "shard", sh.index, "shards", sh.count, "remote_id", rid)
 		return nil
 	}
@@ -734,9 +795,15 @@ func (co *Coordinator) finalize(j *cjob) {
 			sh.mu.Unlock()
 		}
 		var err error
+		_, msp := trace.Start(j.tctx, "merge")
+		msp.SetAttrInt("shards", len(results))
 		mergeStart := co.now()
 		merged, err = MergeResults(j.id, results)
 		mergeDur := co.now().Sub(mergeStart)
+		if err != nil {
+			msp.SetStatus(trace.StatusError, err.Error())
+		}
+		msp.End()
 		co.met.mergeSeconds.Observe(mergeDur.Seconds())
 		j.mu.Lock()
 		j.timing.AddPhase(service.PhaseMerge, mergeDur)
@@ -765,6 +832,7 @@ func (co *Coordinator) finalize(j *cjob) {
 		// fan-out's wall clock and merge phase, not any single backend's
 		// run (those are visible on the sub-jobs' own wires).
 		merged.Timing = timing
+		merged.TraceID = j.status.TraceID
 		j.result = merged
 		j.status.Circuit = merged.Circuit
 		j.status.Faults = merged.Faults
@@ -779,6 +847,15 @@ func (co *Coordinator) finalize(j *cjob) {
 	j.subs = nil
 	j.mu.Unlock()
 	co.met.jobsTotal.With(state).Inc()
+	// The root span ends before subscribers wake: a caller unblocked by
+	// the terminal status finds the completed trace in the recorder.
+	j.span.SetAttr("state", state)
+	if firstErr != nil {
+		j.span.SetStatus(trace.StatusError, firstErr.Error())
+	} else {
+		j.span.SetStatus(trace.StatusOK, "")
+	}
+	j.span.End()
 	for _, sb := range subs {
 		sb.finish()
 	}

@@ -115,6 +115,7 @@ func canonical(t *testing.T, r *service.JobResult) string {
 	cp := *r
 	cp.ID = "X"
 	cp.Timing = nil // wall-clock, differs between runs by construction
+	cp.TraceID = "" // run identity, not payload — differs between runs
 	b, err := json.Marshal(&cp)
 	if err != nil {
 		t.Fatal(err)

@@ -69,6 +69,10 @@ type Record struct {
 	State string `json:"state,omitempty"`
 	// Error is the failure message of a finished/failed record.
 	Error string `json:"error,omitempty"`
+	// Trace is the job's distributed-trace id, set on submitted
+	// records so a requeued job keeps its trace identity across a
+	// restart.
+	Trace string `json:"trace,omitempty"`
 	// Spec is the submitted JobSpec's wire JSON (submitted records).
 	Spec json.RawMessage `json:"spec,omitempty"`
 	// Result is the terminal result payload's wire JSON

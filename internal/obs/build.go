@@ -5,7 +5,7 @@ import "runtime"
 // Version is the stack's build version, surfaced by `adifod -version`,
 // the adifo_build_info metric and the /v1/stats payload. Bumped once
 // per released change set.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // GoVersion returns the toolchain that built the binary, the second
 // label of adifo_build_info.

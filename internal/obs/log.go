@@ -5,6 +5,8 @@ import (
 	"io"
 	"log/slog"
 	"os"
+
+	"github.com/eda-go/adifo/internal/obs/trace"
 )
 
 // Logging: every component of the serving stack (service engine,
@@ -17,15 +19,48 @@ import (
 // handler.
 
 // NewLogger returns a leveled text logger writing to w. Level may be a
-// plain slog.Level or a dynamic slog.LevelVar.
+// plain slog.Level or a dynamic slog.LevelVar. Records logged through
+// the context-aware methods (InfoContext etc.) under a traced context
+// carry trace_id and span_id, so one grep correlates logs with the
+// /debug/traces flight recorder.
 func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
-	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+	return slog.New(WithTrace(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})))
 }
 
 // NewJSONLogger is NewLogger with JSON output, for deployments that
 // ship logs to a structured pipeline.
 func NewJSONLogger(w io.Writer, level slog.Leveler) *slog.Logger {
-	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+	return slog.New(WithTrace(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})))
+}
+
+// WithTrace wraps a slog handler so every record handled under a traced
+// context gains trace_id and span_id attributes. Records logged without
+// a span on the context pass through unchanged.
+func WithTrace(h slog.Handler) slog.Handler {
+	if _, ok := h.(traceHandler); ok {
+		return h
+	}
+	return traceHandler{h}
+}
+
+type traceHandler struct{ slog.Handler }
+
+func (t traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sc := trace.SpanContextFromContext(ctx); sc.IsValid() {
+		r.AddAttrs(slog.String("trace_id", sc.TraceID.String()))
+		if sc.SpanID.IsValid() {
+			r.AddAttrs(slog.String("span_id", sc.SpanID.String()))
+		}
+	}
+	return t.Handler.Handle(ctx, r)
+}
+
+func (t traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{t.Handler.WithAttrs(attrs)}
+}
+
+func (t traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{t.Handler.WithGroup(name)}
 }
 
 // Default is the stack's default logger: Info-level text on stderr.

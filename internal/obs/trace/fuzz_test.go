@@ -1,0 +1,38 @@
+package trace
+
+import "testing"
+
+// FuzzTraceparent throws arbitrary bytes at the header parser: it must
+// never panic, and every header it accepts must round-trip through the
+// version-00 renderer back to an equal SpanContext (modulo the
+// version/suffix, which the renderer normalizes to 00).
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-suffix")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01")
+	f.Add("00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01")
+	f.Add("")
+	f.Add("00-")
+	f.Add("garbage")
+
+	f.Fuzz(func(t *testing.T, h string) {
+		sc, err := ParseTraceparent(h)
+		if err != nil {
+			return
+		}
+		if !sc.TraceID.IsValid() || !sc.SpanID.IsValid() {
+			t.Fatalf("accepted header %q with zero id: %+v", h, sc)
+		}
+		rendered := sc.Traceparent()
+		back, err := ParseTraceparent(rendered)
+		if err != nil {
+			t.Fatalf("rendered header %q does not re-parse: %v", rendered, err)
+		}
+		if back != sc {
+			t.Fatalf("round trip %q -> %q: %+v != %+v", h, rendered, back, sc)
+		}
+	})
+}

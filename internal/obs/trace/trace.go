@@ -1,0 +1,363 @@
+// Package trace is the stack's dependency-free distributed-tracing
+// core: Dapper-style spans with W3C Trace Context (traceparent)
+// propagation, and a bounded in-process flight recorder that retains
+// recent and slowest-per-kind traces for the /debug/traces endpoint.
+//
+// The package deliberately depends on nothing but the standard
+// library, mirroring internal/obs/metrics and internal/journal: the
+// serving stack stays `go build`-able from a bare toolchain, and the
+// engine lifts the recorder's Stats() snapshot into its own metric
+// registry instead of the tracer pulling in an exporter. Span
+// ownership follows the same split the JobKind registry uses for
+// Timing: the engine owns the per-job root span (one per lifecycle,
+// ended exactly once at the terminal transition), the kinds own the
+// phase child spans under it.
+//
+// Usage:
+//
+//	ctx, span := trace.Start(ctx, "job.grade", trace.Root())
+//	span.SetAttr("kind", "grade")
+//	defer span.End()
+//
+// Start inherits the parent from the context — a local *Span, or a
+// remote SpanContext extracted from a traceparent header — and the
+// Recorder installed with WithRecorder. Ending a span started with
+// the Root option finalizes its trace in the recorder.
+package trace
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one distributed trace: 16 bytes, rendered as 32
+// lowercase hex digits on the wire. The zero value is invalid.
+type TraceID [16]byte
+
+// IsValid reports whether the id is non-zero (the W3C contract: an
+// all-zero trace-id is forbidden).
+func (t TraceID) IsValid() bool { return t != TraceID{} }
+
+// String renders the id in wire form (32 lowercase hex digits).
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one span within a trace: 8 bytes, 16 lowercase
+// hex digits on the wire. The zero value is invalid.
+type SpanID [8]byte
+
+// IsValid reports whether the id is non-zero.
+func (s SpanID) IsValid() bool { return s != SpanID{} }
+
+// String renders the id in wire form (16 lowercase hex digits).
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// FlagSampled is the traceparent sampled flag bit.
+const FlagSampled = 0x01
+
+// SpanContext is the propagated identity of a span: what crosses
+// process boundaries in the traceparent header.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// IsValid reports whether the context carries a usable trace id. The
+// span id may be zero on contexts that name a trace without a parent
+// span (a pre-minted trace id for a queued job).
+func (sc SpanContext) IsValid() bool { return sc.TraceID.IsValid() }
+
+// Sampled reports the traceparent sampled flag.
+func (sc SpanContext) Sampled() bool { return sc.Flags&FlagSampled != 0 }
+
+// idSource fills new trace and span ids. crypto/rand never fails on
+// the supported platforms; on the broken ones a monotonic counter
+// keeps ids unique within the process, which is all the in-process
+// recorder needs.
+var idFallback atomic.Uint64
+
+func randomBytes(b []byte) {
+	if _, err := crand.Read(b); err != nil {
+		n := idFallback.Add(1)
+		for i := range b {
+			b[i] = 0
+		}
+		binary.BigEndian.PutUint64(b[len(b)-8:], n)
+	}
+}
+
+// NewTraceID mints a random trace id.
+func NewTraceID() TraceID {
+	var t TraceID
+	for !t.IsValid() {
+		randomBytes(t[:])
+	}
+	return t
+}
+
+// NewSpanID mints a random span id.
+func NewSpanID() SpanID {
+	var s SpanID
+	for !s.IsValid() {
+		randomBytes(s[:])
+	}
+	return s
+}
+
+// Attr is one key-value annotation on a span. Values are strings:
+// the recorder serves JSON to humans and grep, not a typed exporter.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Event is one timestamped point annotation on a span.
+type Event struct {
+	Name string    `json:"name"`
+	Time time.Time `json:"time"`
+}
+
+// Span status codes. Unset means the span ended without an explicit
+// verdict.
+const (
+	StatusOK    = "ok"
+	StatusError = "error"
+)
+
+// Span is one timed operation of a trace. A nil *Span is a valid
+// no-op receiver for every method, so callers never guard their
+// instrumentation. Spans are safe for concurrent use.
+type Span struct {
+	rec    *Recorder
+	sc     SpanContext
+	parent SpanID // zero for local roots
+	name   string
+	root   bool // ending this span finalizes the trace in the recorder
+	start  time.Time
+
+	mu        sync.Mutex
+	attrs     []Attr
+	events    []Event
+	status    string
+	statusMsg string
+	ended     bool
+}
+
+// Context returns the span's propagated identity.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// SetAttr annotates the span with a key-value pair.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// SetAttrInt is SetAttr for integer values.
+func (s *Span) SetAttrInt(key string, value int) {
+	s.SetAttr(key, fmt.Sprintf("%d", value))
+}
+
+// AddEvent records a timestamped point annotation.
+func (s *Span) AddEvent(name string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if !s.ended {
+		s.events = append(s.events, Event{Name: name, Time: now})
+	}
+	s.mu.Unlock()
+}
+
+// SetStatus records the span's verdict (StatusOK or StatusError) and
+// an optional message. The last call before End wins.
+func (s *Span) SetStatus(code, msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.status, s.statusMsg = code, msg
+	}
+	s.mu.Unlock()
+}
+
+// End stops the span's clock and hands it to the recorder. Idempotent:
+// only the first call records. Ending a Root span finalizes the trace.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	data := &SpanData{
+		SpanID:       s.sc.SpanID.String(),
+		Name:         s.name,
+		Start:        s.start,
+		End:          now,
+		DurationSecs: now.Sub(s.start).Seconds(),
+		Attrs:        s.attrs,
+		Events:       s.events,
+		Status:       s.status,
+		StatusMsg:    s.statusMsg,
+	}
+	if s.parent.IsValid() {
+		data.ParentSpanID = s.parent.String()
+	}
+	s.mu.Unlock()
+	if s.rec != nil {
+		s.rec.endSpan(s.sc.TraceID, data, s.root)
+	}
+}
+
+// Context keys. Unexported types keep the namespace private to the
+// package.
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	remoteKey
+	recorderKey
+)
+
+// WithRecorder installs rec as the context's span recorder; Start
+// registers every span it creates under that context with rec.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, recorderKey, rec)
+}
+
+// RecorderFrom returns the recorder installed with WithRecorder, or
+// nil.
+func RecorderFrom(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	rec, _ := ctx.Value(recorderKey).(*Recorder)
+	return rec
+}
+
+// ContextWithRemote installs a remote parent (a SpanContext extracted
+// from an incoming traceparent header, or a pre-minted trace id) on
+// the context. The next Start under it joins that trace.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, remoteKey, sc)
+}
+
+// ContextWithSpan installs an existing local span as the context's
+// current span, so Starts and outbound calls under it become its
+// children.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFromContext returns the context's current local span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// SpanContextFromContext returns the propagated identity visible on
+// the context: the current local span's, or the remote parent's, or
+// the zero SpanContext.
+func SpanContextFromContext(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	if s := SpanFromContext(ctx); s != nil {
+		return s.Context()
+	}
+	sc, _ := ctx.Value(remoteKey).(SpanContext)
+	return sc
+}
+
+// Option configures one Start call.
+type Option func(*Span)
+
+// Root marks the span as its trace's local root: when it ends, the
+// recorder finalizes the trace and moves it into retention. Exactly
+// one per trace per process — the engine's per-job span, the cluster
+// coordinator's per-job span.
+func Root() Option { return func(s *Span) { s.root = true } }
+
+// Start begins a span named name under ctx and returns a derived
+// context carrying it. The parent is the context's current local span
+// when there is one, else the remote SpanContext installed with
+// ContextWithRemote (joining the propagated trace), else a fresh
+// trace. The recorder is inherited from the parent span or from
+// WithRecorder; without one the span still carries valid ids (so
+// propagation and log correlation work) but records nothing.
+func Start(ctx context.Context, name string, opts ...Option) (context.Context, *Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Span{name: name, start: time.Now()}
+	if parent := SpanFromContext(ctx); parent != nil {
+		s.sc = SpanContext{TraceID: parent.sc.TraceID, Flags: parent.sc.Flags}
+		s.parent = parent.sc.SpanID
+		s.rec = parent.rec
+	} else if remote, ok := ctx.Value(remoteKey).(SpanContext); ok && remote.IsValid() {
+		s.sc = SpanContext{TraceID: remote.TraceID, Flags: remote.Flags}
+		s.parent = remote.SpanID
+	} else {
+		s.sc = SpanContext{TraceID: NewTraceID(), Flags: FlagSampled}
+	}
+	s.sc.SpanID = NewSpanID()
+	if s.rec == nil {
+		s.rec = RecorderFrom(ctx)
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.rec != nil {
+		s.rec.startSpan()
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// Traceparent returns the W3C traceparent header value for the span
+// context visible on ctx, or "" when there is none — what an outbound
+// HTTP call injects.
+func Traceparent(ctx context.Context) string {
+	sc := SpanContextFromContext(ctx)
+	if !sc.IsValid() || !sc.SpanID.IsValid() {
+		// A trace id without a span id (a pre-minted trace on a queued
+		// job) names a trace but is not a legal W3C parent.
+		return ""
+	}
+	return sc.Traceparent()
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// W3C Trace Context, traceparent header:
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	00      -  4bf92f3577b34da6a3ce929d0e0e4736 - 00f067aa0ba902b7 - 01
+//
+// All fields are lowercase hex. Parsing follows the spec's
+// forward-compatibility rule: an unknown (higher) version is accepted
+// as long as the first four fields parse, with any trailing
+// version-specific suffix ignored; version 00 must be exactly the four
+// fields. Version ff and all-zero trace or parent ids are invalid.
+
+// traceparentLen is the exact length of a version-00 header:
+// 2 + 1 + 32 + 1 + 16 + 1 + 2.
+const traceparentLen = 55
+
+var (
+	errTraceparentSyntax  = errors.New("trace: malformed traceparent header")
+	errTraceparentVersion = errors.New("trace: invalid traceparent version")
+	errTraceparentZeroID  = errors.New("trace: traceparent carries an all-zero id")
+)
+
+// hexVal decodes one lowercase hex digit; ok is false for anything
+// else (uppercase included — the spec mandates lowercase).
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// parseLowerHex decodes exactly len(dst)*2 lowercase hex digits from s
+// into dst.
+func parseLowerHex(dst []byte, s string) bool {
+	if len(s) != len(dst)*2 {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexVal(s[2*i])
+		lo, ok2 := hexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+// ParseTraceparent decodes a traceparent header value into a
+// SpanContext. The error is one of the package's sentinel parse errors
+// wrapped with position detail; callers that only care about validity
+// check err != nil.
+func ParseTraceparent(h string) (SpanContext, error) {
+	if len(h) < traceparentLen {
+		return SpanContext{}, fmt.Errorf("%w: %d bytes, want >= %d", errTraceparentSyntax, len(h), traceparentLen)
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, fmt.Errorf("%w: field separators misplaced", errTraceparentSyntax)
+	}
+	var version [1]byte
+	if !parseLowerHex(version[:], h[0:2]) {
+		return SpanContext{}, fmt.Errorf("%w: version %q", errTraceparentVersion, h[0:2])
+	}
+	if version[0] == 0xff {
+		return SpanContext{}, fmt.Errorf("%w: ff is forbidden", errTraceparentVersion)
+	}
+	if version[0] == 0 && len(h) != traceparentLen {
+		// Version 00 is exactly four fields; only future versions may
+		// append suffixes.
+		return SpanContext{}, fmt.Errorf("%w: version 00 with trailing data", errTraceparentSyntax)
+	}
+	if version[0] > 0 && len(h) > traceparentLen && h[traceparentLen] != '-' {
+		return SpanContext{}, fmt.Errorf("%w: version %02x suffix must be dash-separated", errTraceparentSyntax, version[0])
+	}
+	var sc SpanContext
+	if !parseLowerHex(sc.TraceID[:], h[3:35]) {
+		return SpanContext{}, fmt.Errorf("%w: trace-id", errTraceparentSyntax)
+	}
+	if !sc.TraceID.IsValid() {
+		return SpanContext{}, fmt.Errorf("%w: trace-id", errTraceparentZeroID)
+	}
+	if !parseLowerHex(sc.SpanID[:], h[36:52]) {
+		return SpanContext{}, fmt.Errorf("%w: parent-id", errTraceparentSyntax)
+	}
+	if !sc.SpanID.IsValid() {
+		return SpanContext{}, fmt.Errorf("%w: parent-id", errTraceparentZeroID)
+	}
+	var flags [1]byte
+	if !parseLowerHex(flags[:], h[53:55]) {
+		return SpanContext{}, fmt.Errorf("%w: trace-flags", errTraceparentSyntax)
+	}
+	sc.Flags = flags[0]
+	return sc, nil
+}
+
+// ParseTraceID decodes a bare 32-digit lowercase-hex trace id (the
+// wire form of TraceID.String) — the shape status payloads and journal
+// records carry, as opposed to a full traceparent header.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if !parseLowerHex(t[:], s) {
+		return TraceID{}, fmt.Errorf("%w: trace-id %q", errTraceparentSyntax, s)
+	}
+	if !t.IsValid() {
+		return TraceID{}, fmt.Errorf("%w: trace-id", errTraceparentZeroID)
+	}
+	return t, nil
+}
+
+// Traceparent renders the context as a version-00 traceparent header
+// value. Only meaningful on contexts with valid trace and span ids —
+// use the package-level Traceparent(ctx) helper, which checks.
+func (sc SpanContext) Traceparent() string {
+	b := make([]byte, 0, traceparentLen)
+	b = append(b, '0', '0', '-')
+	b = hex.AppendEncode(b, sc.TraceID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, sc.SpanID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, []byte{sc.Flags})
+	return string(b)
+}

@@ -22,23 +22,40 @@ import (
 	"strings"
 	"time"
 
+	"github.com/eda-go/adifo/internal/obs/trace"
 	"github.com/eda-go/adifo/internal/service"
 )
 
 // Client talks to one adifod server.
 type Client struct {
-	base string
-	hc   *http.Client
+	base         string
+	hc           *http.Client
+	noRetryAfter bool
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithoutRetryAfterWait disables Submit's wait-and-resubmit on
+// "overloaded" rejections; the typed *service.APIError (with its
+// RetryAfter) is returned on the first 429 instead, for callers that
+// own their own backoff policy.
+func WithoutRetryAfterWait() Option {
+	return func(c *Client) { c.noRetryAfter = true }
 }
 
 // New returns a client for the server at base (e.g.
 // "http://localhost:8417"). httpClient may be nil for
 // http.DefaultClient.
-func New(base string, httpClient *http.Client) *Client {
+func New(base string, httpClient *http.Client, opts ...Option) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // decodeError turns a non-2xx response into a *service.APIError when
@@ -73,6 +90,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if err != nil {
 		return err
 	}
+	if tp := trace.Traceparent(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -91,10 +111,20 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 }
 
 // submitAttempts bounds Submit's transparent retry of transport
-// failures, and submitBackoff spaces the attempts.
+// failures and overload rejections, and submitBackoff spaces the
+// transport-failure attempts. An "overloaded" 429 waits the server's
+// Retry-After instead, capped at maxRetryAfterWait so a pathological
+// header cannot stall a submit for minutes.
 const (
 	submitAttempts = 3
 	submitBackoff  = 100 * time.Millisecond
+)
+
+// retryAfterUnit scales APIError.RetryAfter (whole seconds on the
+// wire) into a wait; tests shrink both to keep the suite fast.
+var (
+	retryAfterUnit    = time.Second
+	maxRetryAfterWait = 5 * time.Second
 )
 
 // newIdempotencyKey mints a random per-submission key. 16 random bytes
@@ -116,10 +146,14 @@ func newIdempotencyKey() string {
 // makes the POST safe to repeat: transport failures (connection reset,
 // proxy hiccup) are retried transparently up to three times, and a
 // retry that lands after a first attempt the client never saw the
-// answer to is deduplicated by the server into the same job id. Typed
-// API errors — including "overloaded" admission rejections, whose
-// Retry-After arrives in APIError.RetryAfter — are never retried here;
-// backoff policy for those belongs to the caller.
+// answer to is deduplicated by the server into the same job id.
+//
+// An "overloaded" admission rejection (429) is also retried: the
+// client waits the server's Retry-After (capped at maxRetryAfterWait)
+// and resubmits, so a transient queue-full blip does not surface to
+// every caller. Opt out with WithoutRetryAfterWait to own the backoff
+// policy. Every other typed API error is returned immediately —
+// retrying a spec-level refusal elsewhere cannot help.
 func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (string, error) {
 	if spec.IdempotencyKey == "" {
 		spec.IdempotencyKey = newIdempotencyKey()
@@ -134,15 +168,21 @@ func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (string, erro
 		if err == nil {
 			return resp.ID, nil
 		}
-		var apiErr *service.APIError
-		if !retryable || attempt >= submitAttempts ||
-			errors.As(err, &apiErr) || ctx.Err() != nil {
+		if !retryable || attempt >= submitAttempts || ctx.Err() != nil {
 			return "", err
+		}
+		wait := submitBackoff * time.Duration(attempt)
+		var apiErr *service.APIError
+		if errors.As(err, &apiErr) {
+			if c.noRetryAfter || apiErr.Code != service.CodeOverloaded || apiErr.RetryAfter <= 0 {
+				return "", err
+			}
+			wait = min(time.Duration(apiErr.RetryAfter)*retryAfterUnit, maxRetryAfterWait)
 		}
 		select {
 		case <-ctx.Done():
 			return "", err
-		case <-time.After(submitBackoff * time.Duration(attempt)):
+		case <-time.After(wait):
 		}
 	}
 }
@@ -237,6 +277,9 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(service.Progress
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
 		return service.JobStatus{}, err
+	}
+	if tp := trace.Traceparent(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

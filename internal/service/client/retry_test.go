@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/eda-go/adifo/internal/obs"
 	"github.com/eda-go/adifo/internal/service"
@@ -100,20 +101,74 @@ func TestClientSubmitGivesUpAfterRetries(t *testing.T) {
 	}
 }
 
-// TestClientSubmitNoRetryOnAPIError: typed refusals (validation,
-// overloaded) are not retried — the Retry-After surface belongs to
-// the caller.
-func TestClientSubmitNoRetryOnAPIError(t *testing.T) {
+// overloadedThenAccept serves 429 overloaded (with Retry-After) for
+// the first n submits, then accepts.
+func overloadedThenAccept(n int32, retryAfter string) (*atomic.Int32, http.HandlerFunc) {
 	var posts atomic.Int32
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		posts.Add(1)
-		w.Header().Set("Retry-After", "7")
+	return &posts, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusTooManyRequests)
-		w.Write([]byte(`{"error":{"code":"overloaded","message":"queue full"}}`))
-	}))
+		if posts.Add(1) <= n {
+			w.Header().Set("Retry-After", retryAfter)
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"overloaded","message":"queue full"}}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j1"}`))
+	}
+}
+
+// TestClientSubmitHonorsRetryAfter: an overloaded 429 is waited out
+// for the server's Retry-After and resubmitted — the transient blip
+// never surfaces to the caller.
+func TestClientSubmitHonorsRetryAfter(t *testing.T) {
+	defer func(u time.Duration) { retryAfterUnit = u }(retryAfterUnit)
+	retryAfterUnit = time.Millisecond
+	posts, h := overloadedThenAccept(2, "1")
+	srv := httptest.NewServer(h)
 	defer srv.Close()
 	cl := New(srv.URL, srv.Client())
+	id, err := cl.Submit(context.Background(), service.JobSpec{Circuit: "c17"})
+	if err != nil {
+		t.Fatalf("submit through transient overload: %v", err)
+	}
+	if id != "j1" {
+		t.Errorf("id = %q, want j1", id)
+	}
+	if got := posts.Load(); got != 3 {
+		t.Errorf("server saw %d submit attempts, want 3 (two 429s waited out)", got)
+	}
+}
+
+// TestClientSubmitRetryAfterCapped: a pathological Retry-After cannot
+// stall the submit past maxRetryAfterWait per attempt.
+func TestClientSubmitRetryAfterCapped(t *testing.T) {
+	defer func(u, m time.Duration) { retryAfterUnit, maxRetryAfterWait = u, m }(retryAfterUnit, maxRetryAfterWait)
+	retryAfterUnit, maxRetryAfterWait = time.Minute, 5*time.Millisecond
+	posts, h := overloadedThenAccept(1, "3600")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	cl := New(srv.URL, srv.Client())
+	start := time.Now()
+	if _, err := cl.Submit(context.Background(), service.JobSpec{Circuit: "c17"}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("submit stalled %v on a 3600s Retry-After; cap did not apply", elapsed)
+	}
+	if got := posts.Load(); got != 2 {
+		t.Errorf("server saw %d submit attempts, want 2", got)
+	}
+}
+
+// TestClientSubmitRetryAfterOptOut: WithoutRetryAfterWait surfaces the
+// typed overloaded error on the first 429 — the Retry-After backoff
+// policy belongs to the caller, as it did before the client waited.
+func TestClientSubmitRetryAfterOptOut(t *testing.T) {
+	posts, h := overloadedThenAccept(1000, "7")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	cl := New(srv.URL, srv.Client(), WithoutRetryAfterWait())
 	_, err := cl.Submit(context.Background(), service.JobSpec{Circuit: "c17"})
 	if !errors.Is(err, service.ErrOverloaded) {
 		t.Fatalf("err = %v, want ErrOverloaded", err)
@@ -124,6 +179,29 @@ func TestClientSubmitNoRetryOnAPIError(t *testing.T) {
 	}
 	if apiErr.RetryAfter != 7 {
 		t.Errorf("RetryAfter = %d, want 7 (parsed from the header)", apiErr.RetryAfter)
+	}
+	if got := posts.Load(); got != 1 {
+		t.Errorf("server saw %d submit attempts, want 1 (opt-out disables the wait)", got)
+	}
+}
+
+// TestClientSubmitNoRetryOnAPIError: non-overload typed refusals
+// (validation and friends) are never retried — resubmitting a
+// spec-level refusal cannot change the answer.
+func TestClientSubmitNoRetryOnAPIError(t *testing.T) {
+	var posts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":{"code":"invalid_spec","message":"no such circuit"}}`))
+	}))
+	defer srv.Close()
+	cl := New(srv.URL, srv.Client())
+	_, err := cl.Submit(context.Background(), service.JobSpec{Circuit: "nope"})
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err %v is not an APIError", err)
 	}
 	if got := posts.Load(); got != 1 {
 		t.Errorf("server saw %d submit attempts, want 1 (no retry on typed errors)", got)

@@ -103,10 +103,12 @@ func TestGoldenKindlessSpecGradesAsBefore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Timing is wall-clock and changes every run; the fixture pins the
-	// deterministic payload. omitempty makes the nil'd field vanish, so
-	// the pre-timing bytes still match — the additive-wire guarantee.
+	// Timing is wall-clock and the trace id is random per run; the
+	// fixture pins the deterministic payload. omitempty makes the
+	// nil'd fields vanish, so the pre-timing bytes still match — the
+	// additive-wire guarantee.
 	res.Timing = nil
+	res.TraceID = ""
 	checkGolden(t, "jobresult_grade_v1.json", marshalCanonical(t, res))
 }
 
@@ -179,6 +181,7 @@ func TestGoldenStatusAndStreamShapes(t *testing.T) {
 		Faults: 22, Vectors: 96, Blocks: 2,
 		BlocksDone: 2, VectorsUsed: 96, Detected: 22,
 		Targets: 22, TargetsDone: 22, Tests: 7,
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
 	}))
 	checkGolden(t, "progress_event_grade_v1.json", marshalCanonical(t, ProgressEvent{
 		JobID: "j1", Kind: KindGrade, State: StateRunning,

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"github.com/eda-go/adifo/internal/obs/trace"
 )
 
 // Error codes of the v1 wire contract. Every non-2xx response carries
@@ -137,7 +139,13 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
-	id, err := s.Submit(spec)
+	// A valid incoming traceparent makes the job join the caller's
+	// trace; anything else (absent header included) mints a fresh one.
+	ctx := r.Context()
+	if sc, err := trace.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+		ctx = trace.ContextWithRemote(ctx, sc)
+	}
+	id, err := s.SubmitContext(ctx, spec)
 	if errors.Is(err, ErrDraining) {
 		s.writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
 		return

@@ -131,4 +131,7 @@ type AtpgResult struct {
 	// Timing is the job's wall-clock record, attached by the engine at
 	// the terminal transition.
 	Timing *Timing `json:"timing,omitempty"`
+	// TraceID is the job's distributed-trace id, identical to the one
+	// on the status. Additive to the v1 wire.
+	TraceID string `json:"trace_id,omitempty"`
 }

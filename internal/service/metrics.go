@@ -3,6 +3,7 @@ package service
 import (
 	"github.com/eda-go/adifo/internal/journal"
 	"github.com/eda-go/adifo/internal/obs"
+	"github.com/eda-go/adifo/internal/obs/trace"
 )
 
 // Terminal status label values of the adifo_jobs_total metric.
@@ -189,6 +190,25 @@ func newServiceMetrics(reg *obs.Registry, s *Service) *serviceMetrics {
 	reg.CounterFunc("adifo_journal_requeued_total",
 		"Jobs found queued or running in the journal and re-enqueued at the last startup.",
 		func() uint64 { return s.replayRequeued })
+
+	// Trace instruments: like the journal, the tracer stays
+	// dependency-free and the engine lifts its flight recorder's
+	// Stats() snapshot into the exposition.
+	tstat := func(pick func(trace.Stats) uint64) func() uint64 {
+		return func() uint64 { return pick(s.traces.Stats()) }
+	}
+	reg.CounterFunc("adifo_trace_spans_started_total",
+		"Spans started on the trace flight recorder.",
+		tstat(func(t trace.Stats) uint64 { return t.SpansStarted }))
+	reg.CounterFunc("adifo_trace_spans_finished_total",
+		"Spans ended and recorded on the trace flight recorder.",
+		tstat(func(t trace.Stats) uint64 { return t.SpansFinished }))
+	reg.CounterFunc("adifo_trace_spans_dropped_total",
+		"Spans dropped by the recorder's bounds (active-trace and per-trace span caps).",
+		tstat(func(t trace.Stats) uint64 { return t.SpansDropped }))
+	reg.GaugeFunc("adifo_trace_recorder_traces",
+		"Completed traces currently retained by the flight recorder (ring + slowest-per-kind pins).",
+		func() float64 { return float64(s.traces.Stats().Traces) })
 
 	return m
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/eda-go/adifo/internal/journal"
+	"github.com/eda-go/adifo/internal/obs/trace"
 )
 
 // This file is the engine's side of the write-ahead journal: the
@@ -22,8 +23,13 @@ import (
 
 // journalSubmitted makes the accepted job durable. Submit returns the
 // id to the caller only after this append's fsync — an acknowledged
-// job survives a crash.
+// job survives a crash. The append (including its group-committed
+// fsync) is a span on the job's trace: submit latency a client sees is
+// dominated by it, so it belongs on the flight recording.
 func (s *Service) journalSubmitted(j *job) error {
+	_, sp := trace.Start(j.tctx, "journal.append")
+	sp.SetAttr("record", "submitted")
+	defer sp.End()
 	spec, err := json.Marshal(j.spec)
 	if err != nil {
 		return err
@@ -34,6 +40,7 @@ func (s *Service) journalSubmitted(j *job) error {
 		Kind:   j.status.Kind,
 		Tenant: j.spec.Tenant,
 		Key:    j.spec.IdempotencyKey,
+		Trace:  j.status.TraceID,
 		Spec:   spec,
 		At:     s.now().UnixNano(),
 	})
@@ -65,6 +72,12 @@ func (s *Service) journalFinished(j *job, st JobStatus, res any) {
 	if s.jnl == nil {
 		return
 	}
+	j.mu.Lock()
+	tctx := j.tctx
+	j.mu.Unlock()
+	_, sp := trace.Start(tctx, "journal.append")
+	sp.SetAttr("record", "finished")
+	defer sp.End()
 	rec := journal.Record{
 		Type:  journal.TypeFinished,
 		Job:   j.id,
@@ -172,11 +185,12 @@ func (s *Service) installTerminal(id string, p *replayedJob) {
 		now:     s.now,
 		met:     s.met,
 		status: JobStatus{
-			ID:     id,
-			Kind:   NormalizeKind(p.submitted.Kind),
-			Tenant: p.submitted.Tenant,
-			State:  fin.State,
-			Error:  fin.Error,
+			ID:      id,
+			Kind:    NormalizeKind(p.submitted.Kind),
+			Tenant:  p.submitted.Tenant,
+			State:   fin.State,
+			Error:   fin.Error,
+			TraceID: p.submitted.Trace,
 		},
 	}
 	if fin.State == StateDone && len(fin.Result) > 0 {
@@ -242,7 +256,14 @@ func (s *Service) requeue(id string, p *replayedJob) {
 		s.journalFinished(j, j.status, nil)
 		return
 	}
-	j := s.newJob(id, spec, k)
+	// A journaled trace id is restored, so the rerun continues the
+	// original submit's trace instead of minting a fresh one — and the
+	// replayed result is id-identical to the pre-crash run's.
+	ctx := context.Background()
+	if tid, terr := trace.ParseTraceID(p.submitted.Trace); terr == nil {
+		ctx = trace.ContextWithRemote(ctx, trace.SpanContext{TraceID: tid, Flags: trace.FlagSampled})
+	}
+	j := s.newJob(ctx, id, spec, k)
 	if p.submitted.At > 0 {
 		j.timing.SubmittedAt = time.Unix(0, p.submitted.At)
 		j.status.Timing = j.timing.Snapshot()

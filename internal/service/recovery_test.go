@@ -179,6 +179,9 @@ func TestJournalRequeueDeterminism(t *testing.T) {
 			t.Fatal(err)
 		}
 		delete(m, "timing")
+		// Trace ids are run identity, not payload: the control run is a
+		// different submission, so its trace legitimately differs.
+		delete(m, "trace_id")
 		return m
 	}
 	for i, spec := range specs {

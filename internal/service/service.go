@@ -37,6 +37,7 @@ import (
 	"github.com/eda-go/adifo/internal/journal"
 	"github.com/eda-go/adifo/internal/logic"
 	"github.com/eda-go/adifo/internal/obs"
+	"github.com/eda-go/adifo/internal/obs/trace"
 	"github.com/eda-go/adifo/internal/prng"
 	"github.com/eda-go/adifo/internal/tgen"
 )
@@ -236,6 +237,12 @@ type JobStatus struct {
 	// v1 wire — servers predating it simply omit the field.
 	Timing *Timing `json:"timing,omitempty"`
 
+	// TraceID is the job's distributed-trace id (32 lowercase hex
+	// digits): the caller's trace when the submit carried a traceparent
+	// header, a server-minted one otherwise. Feed it to /debug/traces
+	// on the server's debug listener. Additive to the v1 wire.
+	TraceID string `json:"trace_id,omitempty"`
+
 	Error string `json:"error,omitempty"`
 }
 
@@ -291,6 +298,9 @@ type JobResult struct {
 	// the terminal transition (merged cluster results carry the merge
 	// phase instead of a single server's run).
 	Timing *Timing `json:"timing,omitempty"`
+	// TraceID is the job's distributed-trace id, identical to the one
+	// on the status. Additive to the v1 wire.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // FaultResult is the per-fault grading outcome.
@@ -358,6 +368,10 @@ type Service struct {
 	start   time.Time
 	now     func() time.Time
 
+	// traces is the in-process flight recorder completed job traces
+	// land in, served over /debug/traces by embedders.
+	traces *trace.Recorder
+
 	// schedCond signals the dispatcher goroutine that sched gained
 	// work (or schedClosed was set). It shares mu.
 	schedCond *sync.Cond
@@ -399,6 +413,15 @@ type job struct {
 	// target).
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// tctx is the job's trace context: recorder + the trace identity
+	// minted (or joined from the caller's traceparent) at submit. run()
+	// replaces it with the root span's context, so phase and journal
+	// spans nest under the job span. span is that root span, ended
+	// exactly once by the terminal transition. Both nil on bare test
+	// jobs — every consumer tolerates that.
+	tctx context.Context
+	span *trace.Span
 
 	// now and met are the owning service's clock and instruments,
 	// copied in at submit so the hot paths (phase stopwatches, block
@@ -467,6 +490,7 @@ func Open(cfg Config) (*Service, error) {
 	}
 	s.schedCond = sync.NewCond(&s.mu)
 	s.start = s.now()
+	s.traces = trace.NewRecorder(trace.RecorderOptions{})
 	s.met = newServiceMetrics(s.metrics, s)
 	if cfg.JournalDir != "" {
 		// Open before replay: the journal only ever appends to a fresh
@@ -498,6 +522,11 @@ func (s *Service) Metrics() *obs.Registry { return s.metrics }
 
 // Logger returns the service's structured logger.
 func (s *Service) Logger() *slog.Logger { return s.logger }
+
+// Traces exposes the service's trace flight recorder, so embedders
+// (the adifod debug listener, the facade) can mount its /debug/traces
+// handler.
+func (s *Service) Traces() *trace.Recorder { return s.traces }
 
 // validateSpec performs everything Submit checks before enqueueing —
 // the common validation (circuit reference, kind dispatch, worker
@@ -561,6 +590,16 @@ func (s *Service) kindAllowed(kindName string) bool {
 // On a journal-backed service Submit returns only after the submitted
 // record is durable — an acknowledged job survives a crash.
 func (s *Service) Submit(spec JobSpec) (string, error) {
+	return s.SubmitContext(context.Background(), spec)
+}
+
+// SubmitContext is Submit carrying the caller's context for trace
+// propagation: when ctx holds a span or a remote SpanContext (extracted
+// from an incoming traceparent header), the job joins that trace;
+// otherwise a fresh trace id is minted. The context's cancellation does
+// NOT govern the job — jobs outlive their submit request by design and
+// are aborted through Cancel.
+func (s *Service) SubmitContext(ctx context.Context, spec JobSpec) (string, error) {
 	k, err := s.validateSpec(spec)
 	if err != nil {
 		return "", err
@@ -592,7 +631,7 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 	}
 	s.seq++
 	id := fmt.Sprintf("j%d", s.seq)
-	j := s.newJob(id, spec, k)
+	j := s.newJob(ctx, id, spec, k)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	if ikey != "" {
@@ -638,17 +677,20 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 	return id, nil
 }
 
-// newJob builds a queued job for spec. Caller holds s.mu (for the
-// clock) and registers the returned job itself.
-func (s *Service) newJob(id string, spec JobSpec, k jobKind) *job {
-	ctx, cancel := context.WithCancel(context.Background())
+// newJob builds a queued job for spec. The submit context contributes
+// only the trace identity: the job joins the caller's trace when one is
+// on ctx, else mints its own, and the trace id is visible on the status
+// from the first poll. Caller holds s.mu (for the clock) and registers
+// the returned job itself.
+func (s *Service) newJob(ctx context.Context, id string, spec JobSpec, k jobKind) *job {
+	jctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		id:      id,
 		spec:    spec,
 		kind:    k,
 		tenant:  spec.Tenant,
 		idemKey: idemCacheKey(spec.Tenant, spec.IdempotencyKey),
-		ctx:     ctx,
+		ctx:     jctx,
 		cancel:  cancel,
 		now:     s.now,
 		met:     s.met,
@@ -661,6 +703,14 @@ func (s *Service) newJob(id string, spec JobSpec, k jobKind) *job {
 			FaultShard: spec.FaultShard,
 		},
 	}
+	// The trace context is rooted on Background, not the submit
+	// request's context: the job outlives the request.
+	sc := trace.SpanContextFromContext(ctx)
+	if !sc.IsValid() {
+		sc = trace.SpanContext{TraceID: trace.NewTraceID(), Flags: trace.FlagSampled}
+	}
+	j.tctx = trace.ContextWithRemote(trace.WithRecorder(context.Background(), s.traces), sc)
+	j.status.TraceID = sc.TraceID.String()
 	j.status.Timing = j.timing.Snapshot()
 	return j
 }
@@ -1031,6 +1081,16 @@ func (s *Service) run(j *job) {
 	s.met.queueWait.With(kind).Observe(wait)
 	s.journalStarted(j)
 
+	// The job's root span: phase and journal spans started under j.tctx
+	// from here on nest beneath it, and ending it (in finish) completes
+	// the trace in the flight recorder.
+	tctx, span := trace.Start(j.tctx, "job."+kind, trace.Root())
+	span.SetAttr("kind", kind)
+	span.SetAttr("job", j.id)
+	j.mu.Lock()
+	j.tctx, j.span = tctx, span
+	j.mu.Unlock()
+
 	var result any
 	var err error
 	pprof.Do(j.ctx, pprof.Labels("kind", kind, "job", j.id), func(context.Context) {
@@ -1073,7 +1133,11 @@ func (s *Service) finish(j *job, state string, result any, cause error) {
 	res := j.result
 	subs := j.subs
 	j.subs = nil
+	tctx := j.tctx
 	j.mu.Unlock()
+	if tctx == nil {
+		tctx = context.Background()
+	}
 
 	for _, ch := range subs {
 		close(ch)
@@ -1083,9 +1147,10 @@ func (s *Service) finish(j *job, state string, result any, cause error) {
 	case StateDone:
 		s.met.duration.With(kind).Observe(run)
 	case StateFailed:
-		s.logger.Error("job failed", "job", j.id, "kind", kind, "err", cause)
+		s.logger.ErrorContext(tctx, "job failed", "job", j.id, "kind", kind, "err", cause)
 	}
 	s.journalFinished(j, st, res)
+	j.endSpan(state, cause)
 	s.mu.Lock()
 	switch state {
 	case StateDone:
@@ -1096,6 +1161,34 @@ func (s *Service) finish(j *job, state string, result any, cause error) {
 		s.cancelled++
 	}
 	s.mu.Unlock()
+}
+
+// endSpan closes the job's root span — the last act of the terminal
+// transition, so the completed trace already carries the journal's
+// finished-append span. A job that never ran (cancelled while queued)
+// has no root span yet; one is opened and closed on the spot so its
+// trace still completes in the recorder.
+func (j *job) endSpan(state string, cause error) {
+	j.mu.Lock()
+	span, tctx, kind := j.span, j.tctx, j.status.Kind
+	j.span = nil
+	j.mu.Unlock()
+	if span == nil {
+		if tctx == nil {
+			return
+		}
+		_, span = trace.Start(tctx, "job."+kind, trace.Root())
+		span.SetAttr("kind", kind)
+		span.SetAttr("job", j.id)
+	}
+	span.SetAttr("state", state)
+	switch {
+	case cause != nil:
+		span.SetStatus(trace.StatusError, cause.Error())
+	case state == StateDone:
+		span.SetStatus(trace.StatusOK, "")
+	}
+	span.End()
 }
 
 // finalizeLocked stamps the terminal timing on the job and mirrors it
@@ -1112,6 +1205,9 @@ func (j *job) finalizeLocked() (started bool) {
 	j.status.Timing = t
 	if r, ok := j.result.(timed); ok {
 		r.setTiming(t)
+	}
+	if r, ok := j.result.(traced); ok && j.status.TraceID != "" {
+		r.setTraceID(j.status.TraceID)
 	}
 	return started
 }

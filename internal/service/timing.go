@@ -1,6 +1,10 @@
 package service
 
-import "time"
+import (
+	"time"
+
+	"github.com/eda-go/adifo/internal/obs/trace"
+)
 
 // Phase names of Timing.Phases. Each kind records the subset it runs:
 // grade records registry_build and simulate; adi_order adds order;
@@ -67,9 +71,21 @@ func (t *Timing) AddPhase(name string, d time.Duration) {
 //	stop := j.phase(PhaseSimulate)
 //	... run the simulator ...
 //	stop()
+//
+// Each phase is also a child span of the job's root span, so the trace
+// tree mirrors the Timing.Phases map. Bare test jobs with no trace
+// context time phases without spans.
 func (j *job) phase(name string) (stop func()) {
 	start := j.now()
+	j.mu.Lock()
+	tctx := j.tctx
+	j.mu.Unlock()
+	var span *trace.Span
+	if tctx != nil {
+		_, span = trace.Start(tctx, name)
+	}
 	return func() {
+		span.End()
 		d := j.now().Sub(start)
 		j.mu.Lock()
 		j.timing.AddPhase(name, d)
@@ -86,3 +102,12 @@ type timed interface{ setTiming(*Timing) }
 func (r *JobResult) setTiming(t *Timing)   { r.Timing = t }
 func (r *AtpgResult) setTiming(t *Timing)  { r.Timing = t }
 func (r *OrderResult) setTiming(t *Timing) { r.Timing = t }
+
+// traced is the same single-ownership pattern for the trace id: the
+// engine stamps the job's trace id on the result payload at the
+// terminal transition, whatever its concrete kind.
+type traced interface{ setTraceID(id string) }
+
+func (r *JobResult) setTraceID(id string)   { r.TraceID = id }
+func (r *AtpgResult) setTraceID(id string)  { r.TraceID = id }
+func (r *OrderResult) setTraceID(id string) { r.TraceID = id }

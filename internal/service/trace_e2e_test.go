@@ -1,0 +1,136 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/eda-go/adifo/internal/obs"
+	"github.com/eda-go/adifo/internal/obs/trace"
+)
+
+// TestHTTPTraceEndToEnd drives one grade job over the wire with a
+// caller-minted traceparent and checks the whole trace surface: the
+// id is visible on status and result, the flight recorder completes
+// one trace whose tree is the job root with one child span per Timing
+// phase, and /debug/traces serves it.
+func TestHTTPTraceEndToEnd(t *testing.T) {
+	s := New(Config{MaxConcurrentJobs: 2, Logger: obs.Nop()})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	spec := JobSpec{
+		Circuit:  "c17",
+		Mode:     "drop",
+		Patterns: PatternSpec{Random: &RandomSpec{N: 64, Seed: 1}},
+	}
+	body, _ := json.Marshal(spec)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", tp)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+
+	st := pollDone(t, srv, acc.ID)
+	if st.State != StateDone {
+		t.Fatalf("job %s: %s", acc.ID, st.Error)
+	}
+	if st.TraceID != tid {
+		t.Errorf("status trace_id = %q, want the caller's %q", st.TraceID, tid)
+	}
+	var res JobResult
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+acc.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	if res.TraceID != tid {
+		t.Errorf("result trace_id = %q, want the caller's %q", res.TraceID, tid)
+	}
+
+	// The root span ends just after the terminal status is published;
+	// poll the recorder briefly.
+	var td *trace.TraceData
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, ok := s.Traces().Trace(tid)
+		if ok {
+			td = got
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recorder never completed trace %s", tid)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if td.Root != "job.grade" || td.Kind != "grade" {
+		t.Errorf("trace root = %q kind = %q, want job.grade/grade", td.Root, td.Kind)
+	}
+	phases := map[string]bool{}
+	for _, sp := range td.Spans {
+		phases[sp.Name] = true
+	}
+	for _, want := range []string{PhaseRegistryBuild, PhaseSimulate} {
+		if !phases[want] {
+			t.Errorf("trace lacks a %q phase span; spans: %v", want, phases)
+		}
+	}
+
+	// The list endpoint serves it with the job's kind.
+	rr := httptest.NewRecorder()
+	s.Traces().Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	var list struct {
+		Traces []trace.TraceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &list); err != nil {
+		t.Fatalf("list endpoint returned unparseable JSON: %v", err)
+	}
+	found := false
+	for _, ts := range list.Traces {
+		if ts.TraceID == tid && ts.Kind == "grade" && ts.Spans == len(td.Spans) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/debug/traces list lacks trace %s: %+v", tid, list.Traces)
+	}
+}
+
+// TestSubmitMintsRootTrace: a submit with no traceparent still gets a
+// trace — the engine mints a root — and the id is on the status from
+// the moment the job is accepted.
+func TestSubmitMintsRootTrace(t *testing.T) {
+	s := New(Config{MaxConcurrentJobs: 1, Logger: obs.Nop()})
+	defer s.Close()
+	id, err := s.Submit(JobSpec{
+		Circuit:  "c17",
+		Mode:     "drop",
+		Patterns: PatternSpec{Random: &RandomSpec{N: 64, Seed: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s.Status(id)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if _, err := trace.ParseTraceID(st.TraceID); err != nil {
+		t.Fatalf("status trace_id %q is not a valid minted id: %v", st.TraceID, err)
+	}
+}

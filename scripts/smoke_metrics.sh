@@ -59,10 +59,29 @@ wait_done "$grade"
 wait_done "$atpg"
 wait_done "$order"
 
-# Results must carry the per-phase timing record.
+# Results must carry the per-phase timing record and a trace id, and
+# every trace id must resolve on the flight recorder: the list view
+# knows the job's kind, the per-trace view serves a non-empty span
+# tree rooted in the job span.
 for id in "$grade" "$atpg" "$order"; do
-  phases=$(curl -fsS "$base/v1/jobs/$id/result" | jq -r '.timing.phases | keys | join(",")')
+  result=$(curl -fsS "$base/v1/jobs/$id/result")
+  phases=$(echo "$result" | jq -r '.timing.phases | keys | join(",")')
   [ -n "$phases" ] || { echo "job $id result has no timing.phases" >&2; exit 1; }
+  tid=$(echo "$result" | jq -r '.trace_id')
+  echo "$tid" | grep -qE '^[0-9a-f]{32}$' || {
+    echo "job $id result trace_id malformed: $tid" >&2; exit 1
+  }
+  kind=$(echo "$result" | jq -r '.kind // "grade"')
+  curl -fsS "http://$debug/debug/traces" \
+    | jq -e --arg tid "$tid" --arg kind "$kind" \
+        '.traces[] | select(.trace_id == $tid) | select(.kind == $kind)' >/dev/null || {
+    echo "trace $tid ($kind) missing from /debug/traces list" >&2; exit 1
+  }
+  curl -fsS "http://$debug/debug/traces/$tid" \
+    | jq -e --arg tid "$tid" --arg kind "$kind" \
+        '.trace_id == $tid and .root == ("job." + $kind) and (.tree | length) == 1 and .spans >= 2' >/dev/null || {
+    echo "trace $tid tree view malformed" >&2; exit 1
+  }
 done
 curl -fsS "$base/v1/stats" | jq -e '.uptime_seconds > 0 and .version != ""' >/dev/null
 
@@ -99,6 +118,10 @@ for series in \
   'adifo_tenant_queue_depth{tenant="default"}' \
   'adifo_journal_enabled 0' \
   'adifo_journal_appends_total 0' \
+  'adifo_trace_spans_started_total ' \
+  'adifo_trace_spans_finished_total ' \
+  'adifo_trace_spans_dropped_total 0' \
+  'adifo_trace_recorder_traces ' \
 ; do
   grep -qF "$series" "$metrics" || {
     echo "required series missing from /metrics: $series" >&2
