@@ -70,6 +70,9 @@ gen flags:
 grade flags:
   -server url    adifod server to grade on (default: in-process);
                  repeat to fault-shard the job across a cluster
+  -shards-per-backend k
+                 cluster over-partitioning factor: k fault shards per
+                 healthy backend feed the work queue (default 4)
   -mode m        nodrop, drop or ndetect
   -ndet k        drop threshold for ndetect mode
   -quiet         suppress per-block progress lines
@@ -87,6 +90,7 @@ type options struct {
 	limit      int
 
 	servers  serverList
+	shardsK  int
 	mode     string
 	ndet     int
 	fillseed uint64
@@ -121,6 +125,7 @@ func main() {
 	fs.StringVar(&o.order, "order", "dynm", "fault order to print")
 	fs.IntVar(&o.limit, "limit", 0, "print at most this many rows (0 = all)")
 	fs.Var(&o.servers, "server", "adifod server URL, repeatable for a cluster (none = grade in-process)")
+	fs.IntVar(&o.shardsK, "shards-per-backend", 0, "cluster fault shards per healthy backend (0 = default)")
 	fs.StringVar(&o.mode, "mode", "nodrop", "grading mode: nodrop, drop or ndetect")
 	fs.IntVar(&o.ndet, "ndet", 0, "drop threshold for ndetect mode")
 	fs.Uint64Var(&o.fillseed, "fillseed", adifo.DefaultFillSeed, "seed for the ATPG's random fill of unspecified inputs")
@@ -234,7 +239,9 @@ func grade(o options, out *os.File) error {
 		g = adifo.NewRemoteGrader(o.servers[0], nil)
 		where = o.servers[0]
 	default:
-		cg, err := adifo.NewClusterGrader(o.servers, adifo.ClusterOptions{})
+		cg, err := adifo.NewClusterGrader(o.servers, adifo.ClusterOptions{
+			ShardsPerBackend: o.shardsK,
+		})
 		if err != nil {
 			return err
 		}

@@ -347,8 +347,10 @@ func TestClusterGraderParity(t *testing.T) {
 		t.Fatalf("cluster result diverges from local run\n got: %s\nwant: %s", norm(got), norm(want))
 	}
 
+	// 4 work-queue shards per healthy backend (the coordinator's
+	// default over-partitioning factor).
 	shards, err := g.Shards(id)
-	if err != nil || len(shards) != 3 {
+	if err != nil || len(shards) != 12 {
 		t.Fatalf("shards: %v, %v", shards, err)
 	}
 

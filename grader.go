@@ -320,14 +320,17 @@ func (g *RemoteGrader) Stats(ctx context.Context) (GraderStats, error) {
 func (g *RemoteGrader) Close() error { return nil }
 
 // ClusterGrader fans every grading job out across multiple adifod
-// backends: the collapsed fault universe is partitioned into one
-// deterministic index-range shard per healthy backend, each backend
-// grades its shard against the full pattern set, and the streamed
-// progress and final results are merged into a single JobResult that
-// is bit-identical to an unsharded single-node run. A backend that
-// dies mid-job has its shard retried on a surviving backend; health is
-// probed via /v1/stats and flapping backends are excluded. Cancel fans
-// out to every sub-job.
+// backends: the collapsed fault universe is partitioned into many more
+// deterministic index-range shards than backends (ShardsPerBackend per
+// healthy backend), the shards feed a work queue that each backend
+// pulls from as it has capacity, and the streamed progress and final
+// results are merged into a single JobResult that is bit-identical to
+// an unsharded single-node run. A backend that dies mid-job has its
+// shards retried on survivors; shards stuck behind a straggler are
+// stolen or speculatively duplicated on idle backends (first terminal
+// result wins — determinism makes duplicates safe). Health is probed
+// via /v1/stats and flapping backends are excluded. Cancel fans out to
+// every sub-job.
 type ClusterGrader struct {
 	co *cluster.Coordinator
 }
@@ -344,9 +347,9 @@ func NewClusterGrader(urls []string, opts ClusterOptions) (*ClusterGrader, error
 	return &ClusterGrader{co: co}, nil
 }
 
-// Submit implements Grader: it places one fault-shard sub-job per
-// healthy backend synchronously (so validation errors surface here)
-// and returns the cluster job id.
+// Submit implements Grader: it places the first fault shard
+// synchronously (so validation errors surface here), queues the rest
+// for the per-backend dispatch loops, and returns the cluster job id.
 func (g *ClusterGrader) Submit(ctx context.Context, spec JobSpec) (string, error) {
 	return g.co.Submit(ctx, spec)
 }

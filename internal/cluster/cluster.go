@@ -1,10 +1,24 @@
 // Package cluster fans one fault-grading job out across multiple
 // adifod backends. The coordinator partitions the collapsed fault
 // universe into deterministic index-range shards (service.ShardRange),
-// submits one sub-job per healthy backend with the wire's fault_shard
-// selector set, merges the streamed per-block progress and the final
-// per-shard results into a single JobResult, and retries the shard of
-// a dead backend on a surviving one.
+// submits sub-jobs with the wire's fault_shard selector set, merges the
+// streamed per-block progress and the final per-shard results into a
+// single JobResult, and retries the shard of a dead backend on a
+// surviving one.
+//
+// Placement is a work queue, not a static assignment: the coordinator
+// cuts ShardsPerBackend shards per healthy backend — many more shards
+// than backends — and each backend pulls the next queued shard as its
+// in-flight window (bounded by MaxInFlightPerBackend, scaled by the
+// capacity each backend reports on /v1/stats) opens up. Fast backends
+// therefore finish more shards; a slow backend bounds only its own
+// tail, not the job. When the queue runs dry an idle backend first
+// steals a shard that is still sitting unstarted in a backlogged
+// peer's own queue, then speculatively duplicates the least-progressed
+// running shard — the first attempt to reach a terminal result wins
+// and the loser is cancelled. A background re-probe loop re-admits
+// backends that were unhealthy (or flapping) at submit time, so
+// membership is dynamic over a job's lifetime.
 //
 // The merge is bit-identical to an unsharded single-node run because
 // dropping decisions are per-fault: a fault drops when its own
@@ -16,11 +30,15 @@
 // a single run's global active list would have emptied. Patterns are
 // replicated rather than split because dropping *does* depend on
 // earlier vectors: pattern shards would have cross-shard control
-// dependence, fault shards do not.
+// dependence, fault shards do not. Determinism is also what makes
+// duplicate attempts safe: a speculative copy reproduces the original
+// byte for byte, so whichever attempt finishes first yields the same
+// merged job.
 //
 // Backend health is probed via /v1/stats; a backend that keeps failing
-// (flapping) is excluded from retry placement once its consecutive
-// failure count reaches Options.MaxBackendFailures.
+// (flapping) is excluded from placement once its consecutive failure
+// count reaches Options.MaxBackendFailures, until a probe or sub-job
+// succeeds on it again.
 package cluster
 
 import (
@@ -33,6 +51,7 @@ import (
 	"net/http"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/eda-go/adifo/internal/obs"
@@ -54,13 +73,38 @@ type Options struct {
 	MaxShardRetries int
 	// MaxBackendFailures is the consecutive-failure count at which a
 	// backend is considered flapping and excluded from placement until
-	// a sub-job completes on it again (default 3).
+	// a probe or sub-job completes on it again (default 3).
 	MaxBackendFailures int
 	// MaxRetainedJobs bounds how many finished cluster jobs (and their
 	// merged results) are kept for status/result queries, mirroring the
 	// service's own retention bound; the oldest finished jobs are
 	// evicted first, running jobs never (default 1024).
 	MaxRetainedJobs int
+	// ShardsPerBackend is the work-queue over-partitioning factor K: a
+	// job over N healthy backends is cut into K×N shards (default 4).
+	// More shards mean finer-grained load balancing — a straggler
+	// strands at most 1/(K·N) of the fault universe per in-flight slot
+	// — at the cost of more sub-jobs and more merge tracks.
+	ShardsPerBackend int
+	// MaxInFlightPerBackend caps how many sub-jobs of one cluster job
+	// run concurrently on a single backend (default: ShardsPerBackend,
+	// so the whole queue streams at once when every backend is
+	// healthy and the queue only backs up under failures or skew).
+	// Backends reporting fewer workers than their largest peer get a
+	// proportionally smaller window (see capacity).
+	MaxInFlightPerBackend int
+	// ReprobeInterval is the period of the background membership sweep
+	// that re-probes every backend, records its reported capacity, and
+	// re-admits recovered backends into running jobs (default 3s).
+	ReprobeInterval time.Duration
+	// StragglerAfter is how old a shard's sole attempt must be before
+	// an idle backend (with an empty queue) may steal it (no streamed
+	// progress yet — the sub-job is stuck in its backend's queue) or
+	// speculatively duplicate it (progressing, but slowly). The age
+	// gate keeps healthy fast jobs at exactly one attempt per shard:
+	// "no progress" alone also describes a placement that is a few
+	// milliseconds old (default 2s).
+	StragglerAfter time.Duration
 	// Logger receives placement and retry diagnostics as structured
 	// records with "backend", "shard" and "job" fields. Nil selects the
 	// stack default (Info-level text on stderr); tests pass obs.Nop().
@@ -83,19 +127,35 @@ func (o Options) withDefaults() Options {
 	if o.MaxRetainedJobs <= 0 {
 		o.MaxRetainedJobs = 1024
 	}
+	if o.ShardsPerBackend <= 0 {
+		o.ShardsPerBackend = 4
+	}
+	if o.MaxInFlightPerBackend <= 0 {
+		o.MaxInFlightPerBackend = o.ShardsPerBackend
+	}
+	if o.ReprobeInterval <= 0 {
+		o.ReprobeInterval = 3 * time.Second
+	}
+	if o.StragglerAfter <= 0 {
+		o.StragglerAfter = 2 * time.Second
+	}
 	o.Logger = obs.Or(o.Logger)
 	return o
 }
 
 // backend is one adifod server plus its health bookkeeping. failures
 // counts consecutive transport-level failures; any completed sub-job
-// resets it.
+// or successful probe resets it. workers/load are the capacity hints
+// from the backend's most recent /v1/stats answer.
 type backend struct {
 	url string
 	cl  *client.Client
 
 	mu       sync.Mutex
 	failures int
+	alive    bool
+	workers  int
+	load     int // queued + running jobs at last probe
 }
 
 func (b *backend) markFailure() {
@@ -108,6 +168,37 @@ func (b *backend) markOK() {
 	b.mu.Lock()
 	b.failures = 0
 	b.mu.Unlock()
+}
+
+// markProbe records a probe outcome: success resets the failure count
+// (a backend that answers its stats endpoint is admittable again, even
+// if it was flapping) and reports whether this probe observed a
+// dead-to-alive transition.
+func (b *backend) markProbe(ok bool) (recovered bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		recovered = !b.alive
+		b.alive = true
+		b.failures = 0
+		return recovered
+	}
+	b.alive = false
+	b.failures++
+	return false
+}
+
+// setHints records the backend's self-reported capacity.
+func (b *backend) setHints(workers, load int) {
+	b.mu.Lock()
+	b.workers, b.load = workers, load
+	b.mu.Unlock()
+}
+
+func (b *backend) hints() (workers, load int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.workers, b.load
 }
 
 // flapping reports whether the backend has hit the consecutive-failure
@@ -135,8 +226,9 @@ type Coordinator struct {
 
 	// traces records the coordinator's side of every cluster job's
 	// trace: the fan-out root, one span per shard attempt (including
-	// reruns after backend deaths), and the merge. The sub-jobs join
-	// the same trace on their backends via traceparent propagation.
+	// reruns, steals and speculative duplicates), and the merge. The
+	// sub-jobs join the same trace on their backends via traceparent
+	// propagation.
 	traces *trace.Recorder
 
 	// nonce distinguishes this coordinator incarnation in the
@@ -144,6 +236,10 @@ type Coordinator struct {
 	// coordinator re-placing the "same" shard must not collide with a
 	// sub-job the previous incarnation left on a journal-backed backend.
 	nonce string
+
+	// stop ends the membership re-probe loop.
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	mu    sync.Mutex
 	jobs  map[string]*cjob
@@ -169,6 +265,7 @@ func New(urls []string, opts Options) (*Coordinator, error) {
 		now:     time.Now,
 		nonce:   newNonce(),
 		traces:  trace.NewRecorder(trace.RecorderOptions{}),
+		stop:    make(chan struct{}),
 	}
 	co.met = newClusterMetrics(co.metrics)
 	seen := make(map[string]bool)
@@ -183,6 +280,11 @@ func New(urls []string, opts Options) (*Coordinator, error) {
 		co.met.probeSeconds.With(u)
 		co.met.exclusions.With(u)
 	}
+	co.wg.Add(1)
+	go func() {
+		defer co.wg.Done()
+		co.reprobeLoop()
+	}()
 	return co, nil
 }
 
@@ -208,39 +310,58 @@ func newNonce() string {
 // Deterministic within an incarnation: if the coordinator (or the
 // client under it) repeats the same placement after a lost response,
 // the backend dedupes the repeat into the already-accepted sub-job —
-// exactly-once per backend. The retry counter is part of the key
-// because a *re-placed* shard is a new logical attempt: its rerun must
-// not dedupe into the sub-job that was just declared lost.
-func (co *Coordinator) shardKey(jobID string, index, count, retries int) string {
-	return fmt.Sprintf("c-%s-%s-s%d.%d-r%d", co.nonce, jobID, index, count, retries)
+// exactly-once per backend. The attempt ordinal is part of the key
+// because every re-placement AND every speculative duplicate is a new
+// logical attempt: keyed identically, a backend would dedupe the
+// speculative copy into the original sub-job and speculation would
+// silently collapse into a second subscription on the same straggler.
+func (co *Coordinator) shardKey(jobID string, index, count, attempt int) string {
+	return fmt.Sprintf("c-%s-%s-s%d.%d-a%d", co.nonce, jobID, index, count, attempt)
 }
 
-// shard is one fault-range sub-job of a cluster job. backend and
-// remoteID change when the shard is retried elsewhere.
+// attempt is one placement of one shard on one backend. A shard has at
+// most two live attempts: its primary and a speculative duplicate (or
+// the superseded victim of a steal, draining away).
+type attempt struct {
+	backend     *backend
+	key         string
+	seq         int  // attempt ordinal within the shard, keys the sub-job
+	retry       int  // sh.retries at creation; the span's retry attribute
+	speculative bool // duplicate of a running attempt
+	stolen      bool // claimed away from a backlogged backend
+	born        time.Time
+
+	// ctx cancels this attempt's outbound calls; cancel is invoked when
+	// the attempt loses (superseded) or the attempt goroutine returns.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	remoteID string // sub-job id on the backend; guarded by shard.mu
+
+	// progress counts streamed events — the steal heuristic's "has this
+	// sub-job started at all" signal.
+	progress atomic.Int64
+	// superseded marks a lost race: the shard finished (or moved)
+	// elsewhere and this attempt's death is bookkeeping, not a loss.
+	superseded atomic.Bool
+}
+
+// shard is one fault-range sub-job of a cluster job.
 type shard struct {
 	index, count int
 
-	mu       sync.Mutex
+	mu         sync.Mutex
+	state      string // queued/running/done/failed/cancelled from the cluster's view
+	attempts   []*attempt
+	attemptSeq int
+	retries    int
+	lastFailed string // URL of the backend that most recently lost this shard
+	// backend/remoteID are the latest placement while running and the
+	// winning attempt's once done — diagnostics via Shards.
 	backend  *backend
 	remoteID string
-	state    string // running/done/failed/cancelled from the cluster's view
-	retries  int
 	result   *service.JobResult
 	err      error
-}
-
-func (sh *shard) placement() (*backend, string) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.backend, sh.remoteID
-}
-
-func (sh *shard) finish(state string, res *service.JobResult, err error) {
-	sh.mu.Lock()
-	sh.state = state
-	sh.result = res
-	sh.err = err
-	sh.mu.Unlock()
 }
 
 // ShardStatus is the observable placement state of one shard, exposed
@@ -252,6 +373,7 @@ type ShardStatus struct {
 	RemoteID string `json:"remote_id"`
 	State    string `json:"state"`
 	Retries  int    `json:"retries"`
+	Attempts int    `json:"attempts"`
 	Error    string `json:"error,omitempty"`
 }
 
@@ -265,7 +387,7 @@ type cjob struct {
 	// tctx carries the job's root span (plus the coordinator's
 	// recorder); shard-attempt and merge spans start under it, and
 	// outbound backend calls inject its traceparent. span is that root,
-	// ended once by finalize. Both are set before the shard goroutines
+	// ended once by finalize. Both are set before the dispatch loops
 	// start and never reassigned.
 	tctx context.Context
 	span *trace.Span
@@ -274,12 +396,39 @@ type cjob struct {
 	// subscribers in block order even when shard streams race.
 	pubMu sync.Mutex
 
-	mu        sync.Mutex
-	status    service.JobStatus
-	timing    service.Timing
-	result    *service.JobResult
-	cancelled bool
-	subs      []*subscriber
+	// cancelled is the user's Cancel; aborted additionally covers shard
+	// failure fan-outs. Attempt triage consults aborted so the abort's
+	// own remote cancels are not mistaken for backend drains (and
+	// pointlessly retried); finalize consults cancelled to pick the
+	// terminal state.
+	cancelled atomic.Bool
+	aborted   atomic.Bool
+
+	// smu guards the work-queue state; cond wakes dispatch loops when
+	// the queue, in-flight windows, or shard states change.
+	smu         sync.Mutex
+	cond        *sync.Cond
+	queue       []*shard       // shards awaiting (re)placement
+	inflight    map[string]int // live attempts per backend URL
+	runners     map[string]bool
+	runnerCount int // live dispatch loops
+	holders     int // live goroutines under runnersWg; 0 is terminal
+	remaining   int // shards not yet terminal
+	closed      bool
+	runnersWg   sync.WaitGroup
+
+	mu     sync.Mutex
+	status service.JobStatus
+	timing service.Timing
+	result *service.JobResult
+	subs   []*subscriber
+}
+
+// work is one claimed placement: a shard plus the attempt minted for
+// the claiming backend.
+type work struct {
+	sh  *shard
+	att *attempt
 }
 
 // subscriber buffers merged progress events for one Subscribe caller
@@ -339,21 +488,19 @@ func (sb *subscriber) next() (service.ProgressEvent, bool) {
 	return ev, true
 }
 
-func (j *cjob) isCancelled() bool {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.cancelled
-}
-
-// probe checks one backend's liveness with the configured timeout and
+// probe checks one backend's liveness with the configured timeout,
 // records the round-trip in the per-backend probe histogram (a dead
-// backend observes the timeout it cost the sweep).
+// backend observes the timeout it cost the sweep), and on success
+// refreshes the backend's capacity hints.
 func (co *Coordinator) probe(ctx context.Context, b *backend) error {
 	pctx, cancel := context.WithTimeout(ctx, co.opts.ProbeTimeout)
 	defer cancel()
 	start := co.now()
-	_, err := b.cl.Stats(pctx)
+	st, err := b.cl.Stats(pctx)
 	co.met.probeSeconds.With(b.url).Observe(co.now().Sub(start).Seconds())
+	if err == nil {
+		b.setHints(st.Workers, st.JobsQueued+st.JobsRunning)
+	}
 	return err
 }
 
@@ -396,11 +543,89 @@ func (co *Coordinator) healthyBackends(ctx context.Context) []*backend {
 	return out
 }
 
-// Submit partitions the fault universe across the currently healthy
-// backends and submits one fault-shard sub-job per backend,
-// synchronously, so spec validation errors surface here exactly as
-// they do on a direct service submit. The returned id names the
-// cluster job; the sub-jobs stream and merge asynchronously.
+// reprobeLoop is the dynamic-membership sweep: it periodically probes
+// every backend, refreshing capacity hints and re-admitting backends
+// that were dead (or flapping) into the dispatch of running jobs.
+func (co *Coordinator) reprobeLoop() {
+	t := time.NewTicker(co.opts.ReprobeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+			co.reprobe()
+		}
+	}
+}
+
+func (co *Coordinator) reprobe() {
+	var wg sync.WaitGroup
+	for _, b := range co.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			if err := co.probe(context.Background(), b); err != nil {
+				b.markProbe(false)
+				return
+			}
+			if b.markProbe(true) {
+				co.logger.Info("backend recovered, readmitting", "backend", b.url)
+			}
+			co.admit(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// admit attaches a dispatch loop for b to every running job that lacks
+// one — the work-queue half of dynamic membership. Idempotent:
+// startRunner refuses jobs that are finished or already served by b.
+func (co *Coordinator) admit(b *backend) {
+	co.mu.Lock()
+	jobs := make([]*cjob, 0, len(co.jobs))
+	for _, j := range co.jobs {
+		jobs = append(jobs, j)
+	}
+	co.mu.Unlock()
+	for _, j := range jobs {
+		co.startRunner(j, b)
+	}
+}
+
+// capacity is the in-flight window the coordinator keeps open on b:
+// the configured cap, scaled by the workers b reported relative to the
+// best-provisioned peer, and shaved when b already carries a standing
+// backlog of its own. Backends with no hints yet (never probed, or an
+// older server not reporting workers) get the full cap.
+func (co *Coordinator) capacity(b *backend) int {
+	cap := co.opts.MaxInFlightPerBackend
+	w, load := b.hints()
+	if w <= 0 {
+		return cap
+	}
+	maxW := w
+	for _, x := range co.backends {
+		if xw, _ := x.hints(); xw > maxW {
+			maxW = xw
+		}
+	}
+	c := (cap*w + maxW - 1) / maxW
+	if load > w && c > 1 {
+		c--
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Submit partitions the fault universe into ShardsPerBackend shards
+// per healthy backend and feeds them through the work queue. Shard 0
+// is placed synchronously before Submit returns — the canary — so spec
+// validation errors surface here exactly as they do on a direct
+// service submit; the rest of the queue, the streams and the merge are
+// asynchronous.
 func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string, error) {
 	if kind := service.NormalizeKind(spec.Kind); kind != service.KindGrade {
 		// Explicit, not silently degraded: fault sharding is what the
@@ -421,7 +646,7 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 	if len(healthy) == 0 {
 		return "", errors.New("cluster: no healthy backends")
 	}
-	count := len(healthy)
+	count := co.opts.ShardsPerBackend * len(healthy)
 
 	// Coordinator-level idempotency: a caller key that already named a
 	// cluster job answers with that job's id instead of fanning out
@@ -445,21 +670,25 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 	}
 	co.mu.Unlock()
 
-	// A cluster job has no queue: placement starts immediately, so
+	// A cluster job has no queue of its own before placement starts, so
 	// submitted and started coincide and queue wait is zero.
 	now := co.now()
 	j := &cjob{
-		id:     id,
-		spec:   spec,
-		merge:  newMerger(id, count),
-		status: service.JobStatus{ID: id, Kind: service.KindGrade, State: service.StateRunning},
-		timing: service.Timing{SubmittedAt: now, StartedAt: now},
+		id:        id,
+		spec:      spec,
+		merge:     newMerger(id, count),
+		status:    service.JobStatus{ID: id, Kind: service.KindGrade, State: service.StateRunning},
+		timing:    service.Timing{SubmittedAt: now, StartedAt: now},
+		inflight:  make(map[string]int),
+		runners:   make(map[string]bool),
+		remaining: count,
 	}
+	j.cond = sync.NewCond(&j.smu)
 	// The job's root span: it joins the caller's trace when the submit
 	// context carries one (a span, or a remote SpanContext from an
 	// incoming traceparent), else starts a fresh trace. One trace then
 	// covers the whole fan-out — every shard attempt, every backend
-	// sub-job, every rerun after a death, and the merge.
+	// sub-job, every rerun, steal and speculation, and the merge.
 	tctx := trace.WithRecorder(context.Background(), co.traces)
 	if sc := trace.SpanContextFromContext(ctx); sc.IsValid() {
 		tctx = trace.ContextWithRemote(tctx, sc)
@@ -468,67 +697,69 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 	j.span.SetAttr("kind", service.KindGrade)
 	j.span.SetAttr("job", id)
 	j.span.SetAttrInt("shards", count)
+	j.span.SetAttrInt("backends", len(healthy))
 	j.status.TraceID = j.span.Context().TraceID.String()
 	for i := 0; i < count; i++ {
-		j.shards = append(j.shards, &shard{index: i, count: count, state: service.StateRunning})
+		j.shards = append(j.shards, &shard{index: i, count: count, state: service.StateQueued})
 	}
 
-	// Synchronous placement: every shard gets a sub-job before Submit
-	// returns. A validation error aborts the whole job (and cancels any
-	// sub-jobs already placed); a transport error re-places the shard
-	// on another healthy backend. Placement calls run under the root
-	// span — the caller's deadline still governs them — so the client
-	// injects the job's traceparent and every backend sub-job joins the
-	// trace.
+	// Canary placement: shard 0 gets a sub-job before Submit returns. A
+	// refusal on every healthy backend aborts the job here — the shard
+	// spec differs from its siblings only in the shard index, so a spec
+	// the whole cluster refuses would refuse 12 times as well. The call
+	// runs under the caller's context (their deadline governs it) with
+	// the job's span attached, so the sub-job joins the trace.
+	canary := j.shards[0]
+	sub := spec
+	sub.FaultShard = &service.FaultShard{Index: 0, Count: count}
+	sub.IdempotencyKey = co.shardKey(id, 0, count, 0)
 	pctx := trace.ContextWithSpan(ctx, j.span)
-	for i, sh := range j.shards {
-		sub := spec
-		sub.FaultShard = &service.FaultShard{Index: i, Count: count}
-		sub.IdempotencyKey = co.shardKey(id, i, count, 0)
-		placed := false
-		var lastErr error
-		for attempt := 0; attempt < len(healthy); attempt++ {
-			b := healthy[(i+attempt)%len(healthy)]
-			if b.flapping(co.opts.MaxBackendFailures) {
-				co.exclude(b)
-				continue
-			}
-			rid, err := b.cl.Submit(pctx, sub)
-			if err == nil {
-				sh.mu.Lock()
-				sh.backend, sh.remoteID = b, rid
-				sh.mu.Unlock()
-				placed = true
-				break
-			}
-			lastErr = err
-			var ae *service.APIError
-			if errors.As(err, &ae) {
-				// This backend refused the spec. Validation can be
-				// server-local (the workers bound depends on each
-				// server's core count) or transient (draining), so a
-				// refusal here does not condemn the spec everywhere:
-				// try the next backend, and only fail the submit when
-				// no backend accepts the shard.
-				co.logger.Warn("backend refused shard", "backend", b.url,
-					"job", id, "shard", i, "shards", count, "err", err)
-				continue
-			}
-			b.markFailure()
-			co.logger.Warn("submitting shard failed", "backend", b.url,
-				"job", id, "shard", i, "shards", count, "err", err)
+	var (
+		canaryWork *work
+		canaryB    *backend
+		lastErr    error
+	)
+	for _, b := range healthy {
+		if b.flapping(co.opts.MaxBackendFailures) {
+			co.exclude(b)
+			continue
 		}
-		if !placed {
-			co.cancelSubJobs(j, nil)
-			if callerKey != "" {
-				co.mu.Lock()
-				delete(co.idem, callerKey)
-				co.mu.Unlock()
-			}
-			j.span.SetStatus(trace.StatusError, "placement failed")
-			j.span.End()
-			return "", fmt.Errorf("cluster: could not place shard %d/%d: %w", i, count, lastErr)
+		rid, err := b.cl.Submit(pctx, sub)
+		if err == nil {
+			canary.mu.Lock()
+			att := co.newAttemptLocked(j, canary, b, false, false)
+			att.remoteID = rid
+			canary.remoteID = rid
+			canary.mu.Unlock()
+			canaryWork = &work{sh: canary, att: att}
+			canaryB = b
+			break
 		}
+		lastErr = err
+		var ae *service.APIError
+		if errors.As(err, &ae) {
+			// This backend refused the spec. Validation can be
+			// server-local (the workers bound depends on each server's
+			// core count) or transient (draining), so a refusal here
+			// does not condemn the spec everywhere: try the next
+			// backend, and only fail the submit when none accepts.
+			co.logger.Warn("backend refused shard", "backend", b.url,
+				"job", id, "shard", 0, "shards", count, "err", err)
+			continue
+		}
+		b.markFailure()
+		co.logger.Warn("submitting shard failed", "backend", b.url,
+			"job", id, "shard", 0, "shards", count, "err", err)
+	}
+	if canaryWork == nil {
+		if callerKey != "" {
+			co.mu.Lock()
+			delete(co.idem, callerKey)
+			co.mu.Unlock()
+		}
+		j.span.SetStatus(trace.StatusError, "placement failed")
+		j.span.End()
+		return "", fmt.Errorf("cluster: could not place shard 0/%d: %w", count, lastErr)
 	}
 
 	co.mu.Lock()
@@ -537,63 +768,375 @@ func (co *Coordinator) Submit(ctx context.Context, spec service.JobSpec) (string
 	co.evictOldJobsLocked()
 	co.mu.Unlock()
 
-	var shardWg sync.WaitGroup
-	for _, sh := range j.shards {
-		shardWg.Add(1)
-		co.wg.Add(1)
-		go func(sh *shard) {
-			defer shardWg.Done()
-			defer co.wg.Done()
-			pprof.Do(context.Background(),
-				pprof.Labels("job", j.id, "shard", fmt.Sprintf("%d/%d", sh.index, sh.count)),
-				func(context.Context) { co.runShard(j, sh) })
-		}(sh)
-	}
+	// Queue the remaining shards and start the machinery. The canary's
+	// supervisor is the job's first runnersWg holder, so startRunner's
+	// liveness guard (holders > 0) admits the dispatch loops.
+	j.smu.Lock()
+	j.queue = append(j.queue, j.shards[1:]...)
+	j.inflight[canaryB.url]++
+	j.holders++
+	j.runnersWg.Add(1)
+	j.smu.Unlock()
 	co.wg.Add(1)
 	go func() {
 		defer co.wg.Done()
-		shardWg.Wait()
+		defer func() {
+			j.smu.Lock()
+			j.inflight[canaryB.url]--
+			j.holders--
+			j.smu.Unlock()
+			j.runnersWg.Done()
+			j.cond.Broadcast()
+		}()
+		pprof.Do(context.Background(),
+			pprof.Labels("job", j.id, "shard", fmt.Sprintf("0/%d", count)),
+			func(context.Context) { co.runAttempt(j, canaryB, canaryWork) })
+	}()
+	for _, b := range healthy {
+		co.startRunner(j, b)
+	}
+
+	// The pacemaker: steal and speculation eligibility turn true with
+	// the mere passage of time (an attempt ages past StragglerAfter
+	// with no event landing — the very situation where no broadcast is
+	// coming), so idle dispatch loops parked in cond.Wait need a
+	// periodic nudge to re-scan for work.
+	co.wg.Add(1)
+	go func() {
+		defer co.wg.Done()
+		period := co.opts.StragglerAfter / 2
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				j.smu.Lock()
+				closed := j.closed
+				j.cond.Broadcast()
+				j.smu.Unlock()
+				if closed {
+					return
+				}
+			case <-co.stop:
+				return
+			}
+		}
+	}()
+
+	// The watcher: once every dispatch loop and attempt has returned,
+	// settle whatever is left (shards stranded with no backend to run
+	// them) and finalize the job.
+	co.wg.Add(1)
+	go func() {
+		defer co.wg.Done()
+		j.runnersWg.Wait()
+		j.smu.Lock()
+		j.closed = true
+		orphans := j.queue
+		j.queue = nil
+		j.smu.Unlock()
+		for _, sh := range append(orphans, j.shards...) {
+			if j.aborted.Load() {
+				co.settleShard(j, sh, service.StateCancelled, nil)
+			} else {
+				co.settleShard(j, sh, service.StateFailed, errors.New("no healthy backend available"))
+			}
+		}
 		co.finalize(j)
 	}()
 	return id, nil
 }
 
-// runShard drives one shard to a terminal state: stream the sub-job,
-// fetch its result, and on any transport failure retry the whole shard
-// on another healthy backend (shard jobs are deterministic, so a rerun
-// reproduces the exact same result). Each attempt — the original
-// placement and every rerun — is one span on the cluster job's trace.
-func (co *Coordinator) runShard(j *cjob, sh *shard) {
-	for co.shardAttempt(j, sh) {
-		co.met.shardRetries.Inc()
+// newAttemptLocked mints the next attempt of sh on b. Caller holds
+// sh.mu.
+func (co *Coordinator) newAttemptLocked(j *cjob, sh *shard, b *backend, speculative, stolen bool) *attempt {
+	ctx, cancel := context.WithCancel(j.tctx)
+	att := &attempt{
+		backend:     b,
+		key:         co.shardKey(j.id, sh.index, sh.count, sh.attemptSeq),
+		seq:         sh.attemptSeq,
+		retry:       sh.retries,
+		speculative: speculative,
+		stolen:      stolen,
+		born:        co.now(),
+		ctx:         ctx,
+		cancel:      cancel,
+	}
+	sh.attemptSeq++
+	sh.attempts = append(sh.attempts, att)
+	sh.state = service.StateRunning
+	sh.backend = b
+	return att
+}
+
+// startRunner attaches one dispatch loop for backend b to job j unless
+// the job is finished or b already has one.
+func (co *Coordinator) startRunner(j *cjob, b *backend) {
+	j.smu.Lock()
+	if j.closed || j.holders == 0 || j.runners[b.url] {
+		j.smu.Unlock()
+		return
+	}
+	j.runners[b.url] = true
+	j.runnerCount++
+	j.holders++
+	j.runnersWg.Add(1)
+	j.smu.Unlock()
+	co.wg.Add(1)
+	go func() {
+		defer co.wg.Done()
+		defer func() {
+			j.smu.Lock()
+			j.runners[b.url] = false
+			j.runnerCount--
+			j.holders--
+			j.smu.Unlock()
+			j.runnersWg.Done()
+			j.cond.Broadcast()
+		}()
+		pprof.Do(context.Background(), pprof.Labels("job", j.id, "backend", b.url),
+			func(context.Context) { co.backendLoop(j, b) })
+	}()
+}
+
+// backendLoop is one backend's dispatch loop: pull the next piece of
+// work, run it in its own goroutine, repeat until the job is done or
+// the backend is struck off. The loop returns only after its attempts
+// have drained.
+func (co *Coordinator) backendLoop(j *cjob, b *backend) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		wk := co.nextWork(j, b)
+		if wk == nil {
+			return
+		}
+		wg.Add(1)
+		j.smu.Lock()
+		j.holders++
+		j.runnersWg.Add(1)
+		j.smu.Unlock()
+		go func() {
+			defer wg.Done()
+			defer func() {
+				j.smu.Lock()
+				j.inflight[b.url]--
+				j.holders--
+				j.smu.Unlock()
+				j.runnersWg.Done()
+				j.cond.Broadcast()
+			}()
+			pprof.Do(context.Background(),
+				pprof.Labels("job", j.id, "shard", fmt.Sprintf("%d/%d", wk.sh.index, wk.sh.count)),
+				func(context.Context) { co.runAttempt(j, b, wk) })
+		}()
 	}
 }
 
-// shardAttempt supervises one placement of sh until the sub-job
-// terminates or is lost. It returns true when the shard was lost and a
-// rerun has been placed — the caller loops; false means the shard
-// reached a terminal state (sh.finish or failShard was called).
-func (co *Coordinator) shardAttempt(j *cjob, sh *shard) (rerun bool) {
-	b, rid := sh.placement()
-	sh.mu.Lock()
-	retries := sh.retries
-	sh.mu.Unlock()
-	ctx, span := trace.Start(j.tctx, "shard")
+// nextWork blocks until b can take on more work for j and claims it:
+// a queued shard first, then — only with an empty queue — a steal from
+// a backlogged peer, then a speculative duplicate of the slowest
+// running shard. Returns nil when the job is finished (or b has been
+// struck off) and the loop should exit.
+func (co *Coordinator) nextWork(j *cjob, b *backend) *work {
+	j.smu.Lock()
+	defer j.smu.Unlock()
+	for {
+		if j.closed || b.flapping(co.opts.MaxBackendFailures) {
+			return nil
+		}
+		if j.inflight[b.url] < co.capacity(b) {
+			if wk := co.claimQueuedLocked(j, b); wk != nil {
+				return wk
+			}
+			if len(j.queue) == 0 && !j.aborted.Load() {
+				if wk := co.claimStolenLocked(j, b); wk != nil {
+					return wk
+				}
+				if wk := co.claimSpeculativeLocked(j, b); wk != nil {
+					return wk
+				}
+			}
+		}
+		j.cond.Wait()
+	}
+}
+
+// claimQueuedLocked takes the first queued shard b may run. A shard
+// avoids the backend that most recently lost it while any other
+// dispatch loop is alive. Caller holds j.smu.
+func (co *Coordinator) claimQueuedLocked(j *cjob, b *backend) *work {
+	for i, sh := range j.queue {
+		sh.mu.Lock()
+		if sh.lastFailed == b.url && j.runnerCount > 1 {
+			sh.mu.Unlock()
+			continue
+		}
+		att := co.newAttemptLocked(j, sh, b, false, false)
+		sh.mu.Unlock()
+		copy(j.queue[i:], j.queue[i+1:])
+		j.queue[len(j.queue)-1] = nil
+		j.queue = j.queue[:len(j.queue)-1]
+		j.inflight[b.url]++
+		return &work{sh: sh, att: att}
+	}
+	return nil
+}
+
+// claimStolenLocked steals a shard whose sole attempt sits on a
+// backlogged peer with zero streamed progress: the sub-job is still
+// waiting in that backend's own queue, so moving it to an idle backend
+// loses no work. The victim is cancelled, not duplicated — stealing
+// reassigns queued work, speculation duplicates running work. Caller
+// holds j.smu.
+func (co *Coordinator) claimStolenLocked(j *cjob, b *backend) *work {
+	// Count live (non-superseded) attempts per backend up front.
+	// j.inflight lags reality here: a stolen victim keeps its inflight
+	// slot until its goroutine exits, so a thief scanning in a tight
+	// burst would see a stale backlog and strip a backend bare before
+	// the first victim ever unwinds. Supersede flips synchronously,
+	// so this count cannot double-steal the same backlog.
+	live := make(map[string]int, len(j.inflight))
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		if sh.state == service.StateRunning {
+			for _, a := range sh.attempts {
+				if !a.superseded.Load() {
+					live[a.backend.url]++
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		if sh.state != service.StateRunning || len(sh.attempts) != 1 {
+			sh.mu.Unlock()
+			continue
+		}
+		victim := sh.attempts[0]
+		// Require a genuinely stuck victim: old enough that its first
+		// event should long since have landed, still at zero progress,
+		// and behind a real backlog (≥2 live attempts) on its backend —
+		// otherwise two idle backends would ping-pong fresh placements
+		// between them before the first event can land. The last
+		// zero-progress attempt on a backend is speculation's to
+		// duplicate, not stealing's to cancel.
+		if victim.backend == b || victim.progress.Load() > 0 ||
+			victim.superseded.Load() || live[victim.backend.url] < 2 ||
+			co.now().Sub(victim.born) < co.opts.StragglerAfter {
+			sh.mu.Unlock()
+			continue
+		}
+		victim.superseded.Store(true)
+		rid := victim.remoteID
+		att := co.newAttemptLocked(j, sh, b, false, true)
+		sh.mu.Unlock()
+		victim.cancel()
+		go co.cancelRemote(j.tctx, j, victim.backend, rid, "stolen")
+		co.met.shardsStolen.Inc()
+		co.logger.InfoContext(j.tctx, "shard stolen from backlogged backend",
+			"job", j.id, "shard", sh.index, "from", victim.backend.url, "to", b.url)
+		j.inflight[b.url]++
+		return &work{sh: sh, att: att}
+	}
+	return nil
+}
+
+// claimSpeculativeLocked duplicates the least-progressed running shard
+// on an otherwise idle backend — the MapReduce backup task. The merge
+// is bit-identical, so whichever attempt finishes first yields the
+// same job; the loser is cancelled. At most two live attempts per
+// shard. Caller holds j.smu.
+func (co *Coordinator) claimSpeculativeLocked(j *cjob, b *backend) *work {
+	var pick *shard
+	var pickProgress int64
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		ok := sh.state == service.StateRunning && len(sh.attempts) == 1 &&
+			sh.attempts[0].backend != b && !sh.attempts[0].superseded.Load() &&
+			co.now().Sub(sh.attempts[0].born) >= co.opts.StragglerAfter
+		var p int64
+		if ok {
+			p = sh.attempts[0].progress.Load()
+		}
+		sh.mu.Unlock()
+		if ok && (pick == nil || p < pickProgress) {
+			pick, pickProgress = sh, p
+		}
+	}
+	if pick == nil {
+		return nil
+	}
+	pick.mu.Lock()
+	// Re-validate: the shard may have finished between scan and claim.
+	if pick.state != service.StateRunning || len(pick.attempts) != 1 || pick.attempts[0].backend == b {
+		pick.mu.Unlock()
+		return nil
+	}
+	att := co.newAttemptLocked(j, pick, b, true, false)
+	pick.mu.Unlock()
+	co.met.shardsSpeculated.Inc()
+	co.logger.InfoContext(j.tctx, "speculating tail shard on idle backend",
+		"job", j.id, "shard", pick.index, "backend", b.url)
+	j.inflight[b.url]++
+	return &work{sh: pick, att: att}
+}
+
+// runAttempt drives one attempt: submit the sub-job (unless the canary
+// already did), stream it, and triage the outcome. One span per
+// attempt on the cluster job's trace.
+func (co *Coordinator) runAttempt(j *cjob, b *backend, wk *work) {
+	sh, att := wk.sh, wk.att
+	defer att.cancel()
+	defer func() {
+		removeAttempt(sh, att)
+		j.cond.Broadcast()
+	}()
+	ctx, span := trace.Start(att.ctx, "shard")
+	defer span.End()
 	span.SetAttrInt("shard", sh.index)
 	span.SetAttr("backend", b.url)
-	span.SetAttr("remote_id", rid)
-	span.SetAttrInt("retry", retries)
-	defer span.End()
+	span.SetAttrInt("retry", att.retry)
+	if att.stolen {
+		span.SetAttr("steal", "true")
+	}
+	if att.speculative {
+		span.SetAttr("speculate", "true")
+	}
 
-	if j.isCancelled() {
-		// A Cancel that raced a retry placement may have missed this
-		// sub-job (cancelSubJobs snapshots placements); cancel it
-		// here so the backend stops and the stream below terminates.
-		cctx, cancel := context.WithTimeout(ctx, co.opts.ProbeTimeout)
-		b.cl.Cancel(cctx, rid)
-		cancel()
+	sh.mu.Lock()
+	rid := att.remoteID
+	sh.mu.Unlock()
+	if rid == "" {
+		sub := j.spec
+		sub.FaultShard = &service.FaultShard{Index: sh.index, Count: sh.count}
+		sub.IdempotencyKey = att.key
+		var err error
+		rid, err = b.cl.Submit(ctx, sub)
+		if err != nil {
+			span.SetStatus(trace.StatusError, err.Error())
+			co.attemptLost(ctx, j, b, sh, att, err, true)
+			return
+		}
+		sh.mu.Lock()
+		att.remoteID = rid
+		sh.remoteID = rid
+		sh.mu.Unlock()
+	}
+	span.SetAttr("remote_id", rid)
+
+	if j.aborted.Load() {
+		// An abort that raced this placement may have missed the
+		// sub-job (the fan-out snapshots live attempts); cancel it here
+		// so the backend stops and the stream below terminates.
+		co.cancelRemote(ctx, j, b, rid, "abort-race")
 	}
 	st, err := b.cl.Stream(ctx, rid, func(ev service.ProgressEvent) {
+		att.progress.Add(1)
 		j.pubMu.Lock()
 		co.publish(j, j.merge.update(sh.index, ev))
 		j.pubMu.Unlock()
@@ -604,165 +1147,274 @@ func (co *Coordinator) shardAttempt(j *cjob, sh *shard) (rerun bool) {
 			res, rerr := b.cl.Result(ctx, rid)
 			if rerr == nil {
 				b.markOK()
-				j.pubMu.Lock()
-				j.merge.markDone(sh.index, st)
-				co.publish(j, j.merge.collect())
-				j.pubMu.Unlock()
-				sh.finish(service.StateDone, res, nil)
-				span.SetStatus(trace.StatusOK, "")
-				return false
+				if co.completeShard(j, sh, att, st, res) {
+					span.SetStatus(trace.StatusOK, "")
+				} else {
+					// A sibling attempt finished first; this result is
+					// the bit-identical duplicate and is dropped.
+					span.SetStatus(trace.StatusOK, "superseded")
+				}
+				return
 			}
 			// Transport failure or a refusal (e.g. the finished job
 			// was evicted before the fetch): the shared triage below
 			// retries what a rerun can recover and fails the rest.
 			err = rerr
 		case service.StateCancelled:
-			if j.isCancelled() {
-				sh.finish(service.StateCancelled, nil, nil)
-				return false
+			if j.aborted.Load() {
+				co.settleShard(j, sh, service.StateCancelled, nil)
+				return
+			}
+			if att.superseded.Load() {
+				// Our own steal/supersede cancel echoing back.
+				return
 			}
 			// The backend cancelled the sub-job on its own — a
 			// graceful drain (SIGTERM) rather than our fan-out. To
 			// the cluster that is a lost shard like any other death:
-			// retry it on a surviving backend.
+			// requeue it for a surviving backend.
 			err = fmt.Errorf("backend %s cancelled sub-job %s (draining?)", b.url, rid)
 		case service.StateFailed:
 			span.SetStatus(trace.StatusError, st.Error)
-			co.failShard(j, sh, fmt.Errorf("backend %s: %s", b.url, st.Error))
-			return false
+			if !att.superseded.Load() {
+				co.failShard(ctx, j, sh, fmt.Errorf("backend %s: %s", b.url, st.Error))
+			}
+			return
 		default:
 			err = fmt.Errorf("stream of %s on %s ended in non-terminal state %q", rid, b.url, st.State)
 		}
 	}
 	span.SetStatus(trace.StatusError, err.Error())
-	var apiErr *service.APIError
-	if errors.As(err, &apiErr) {
-		// The backend answered but refused (job evicted, unknown id):
-		// not a transport failure, retrying elsewhere cannot help a
-		// spec-level refusal, but a lost job is retried like a death.
-		if !errors.Is(err, service.ErrNotFound) {
-			co.failShard(j, sh, err)
-			return false
+	co.attemptLost(ctx, j, b, sh, att, err, false)
+}
+
+// removeAttempt unlinks att from its shard (idempotent) and returns
+// how many live attempts remain.
+func removeAttempt(sh *shard, att *attempt) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i, a := range sh.attempts {
+		if a == att {
+			copy(sh.attempts[i:], sh.attempts[i+1:])
+			sh.attempts[len(sh.attempts)-1] = nil
+			sh.attempts = sh.attempts[:len(sh.attempts)-1]
+			break
 		}
 	}
-	b.markFailure()
-	if j.isCancelled() {
-		sh.finish(service.StateCancelled, nil, nil)
-		return false
+	return len(sh.attempts)
+}
+
+// attemptLost triages a non-terminal attempt outcome: drop it when a
+// duplicate still covers the shard or the loss is our own supersede,
+// otherwise requeue the shard (bounded by MaxShardRetries). The
+// attempt is unlinked first so two concurrent losses cannot each see
+// the other as a live sibling and orphan the shard.
+func (co *Coordinator) attemptLost(lctx context.Context, j *cjob, b *backend, sh *shard, att *attempt, err error, submitting bool) {
+	siblings := removeAttempt(sh, att)
+	if att.superseded.Load() {
+		// The error is self-inflicted — our own steal or supersede
+		// cancelled this attempt's context — so it says nothing about
+		// the backend's health.
+		return
+	}
+	var apiErr *service.APIError
+	isAPI := errors.As(err, &apiErr)
+	if !isAPI {
+		b.markFailure()
+	}
+	if isAPI && !submitting && !errors.Is(err, service.ErrNotFound) {
+		// The backend answered but refused mid-flight: not a transport
+		// failure, and retrying elsewhere cannot help a spec-level
+		// refusal. (A refused *submit* is different — draining and
+		// admission-control refusals are backend-local, so the shard
+		// goes back in the queue for another backend.)
+		if siblings > 0 {
+			return
+		}
+		co.failShard(lctx, j, sh, err)
+		return
+	}
+	if j.aborted.Load() {
+		co.settleShard(j, sh, service.StateCancelled, nil)
+		return
+	}
+	if siblings > 0 {
+		// A live duplicate still covers the shard: drop this attempt
+		// rather than queue a third copy.
+		co.logger.DebugContext(lctx, "shard attempt lost, duplicate continues",
+			"backend", b.url, "job", j.id, "shard", sh.index, "err", err)
+		return
 	}
 	sh.mu.Lock()
+	if terminalState(sh.state) {
+		sh.mu.Unlock()
+		return
+	}
 	sh.retries++
-	retries = sh.retries
-	sh.mu.Unlock()
+	retries := sh.retries
+	sh.lastFailed = b.url
 	if retries > co.opts.MaxShardRetries {
-		co.failShard(j, sh, fmt.Errorf("shard %d/%d: %d retries exhausted, last error: %v",
+		sh.mu.Unlock()
+		co.failShard(lctx, j, sh, fmt.Errorf("shard %d/%d: %d retries exhausted, last error: %v",
 			sh.index, sh.count, co.opts.MaxShardRetries, err))
-		return false
+		return
 	}
-	co.logger.WarnContext(ctx, "shard lost, retrying elsewhere", "backend", b.url,
+	sh.state = service.StateQueued
+	sh.mu.Unlock()
+	co.met.shardRetries.Inc()
+	co.logger.WarnContext(lctx, "shard lost, requeueing", "backend", b.url,
 		"job", j.id, "shard", sh.index, "shards", sh.count, "err", err)
-	if perr := co.replaceShard(ctx, j, sh, b); perr != nil {
-		if j.isCancelled() {
-			sh.finish(service.StateCancelled, nil, nil)
-			return false
-		}
-		co.failShard(j, sh, fmt.Errorf("shard %d/%d: %v (after %v)", sh.index, sh.count, perr, err))
+	j.smu.Lock()
+	j.queue = append(j.queue, sh)
+	j.smu.Unlock()
+	j.cond.Broadcast()
+}
+
+// completeShard claims sh's terminal transition for att's result.
+// Returns false when a sibling attempt won the race (the caller's
+// result is the bit-identical duplicate). The winner feeds the merger
+// and cancels the losing attempts.
+func (co *Coordinator) completeShard(j *cjob, sh *shard, att *attempt, st service.JobStatus, res *service.JobResult) bool {
+	type loser struct {
+		att *attempt
+		rid string
+	}
+	sh.mu.Lock()
+	if terminalState(sh.state) {
+		sh.mu.Unlock()
 		return false
 	}
+	sh.state = service.StateDone
+	sh.result = res
+	sh.backend = att.backend
+	sh.remoteID = att.remoteID
+	var losers []loser
+	for _, a := range sh.attempts {
+		if a == att {
+			continue
+		}
+		a.superseded.Store(true)
+		losers = append(losers, loser{att: a, rid: a.remoteID})
+	}
+	sh.mu.Unlock()
+	if att.speculative {
+		co.met.speculationWins.Inc()
+		co.logger.InfoContext(j.tctx, "speculative duplicate won",
+			"job", j.id, "shard", sh.index, "backend", att.backend.url)
+	}
+	for _, l := range losers {
+		l.att.cancel()
+		go co.cancelRemote(j.tctx, j, l.att.backend, l.rid, "superseded")
+	}
+	j.pubMu.Lock()
+	j.merge.markDone(sh.index, st)
+	co.publish(j, j.merge.collect())
+	j.pubMu.Unlock()
+	co.shardSettled(j)
 	return true
 }
 
-// replaceShard resubmits sh on a healthy backend, preferring backends
-// other than the one that just failed, and resets the shard's progress
-// in the merger (the rerun starts from block 0 and reproduces
-// identical per-block stats).
-func (co *Coordinator) replaceShard(ctx context.Context, j *cjob, sh *shard, failed *backend) error {
-	sub := j.spec
-	sub.FaultShard = &service.FaultShard{Index: sh.index, Count: sh.count}
+// settleShard claims sh's terminal transition to a failed or cancelled
+// state; false means another caller already settled it. Remaining
+// attempts are superseded and their contexts cancelled (their remote
+// sub-jobs are the abort fan-out's job).
+func (co *Coordinator) settleShard(j *cjob, sh *shard, state string, err error) bool {
 	sh.mu.Lock()
-	retries := sh.retries
-	sh.mu.Unlock()
-	sub.IdempotencyKey = co.shardKey(j.id, sh.index, sh.count, retries)
-	var lastErr error
-	for off := 1; off <= len(co.backends); off++ {
-		b := co.backends[(backendIndex(co.backends, failed)+off)%len(co.backends)]
-		if b.flapping(co.opts.MaxBackendFailures) {
-			co.exclude(b)
-			continue
-		}
-		if err := co.probe(ctx, b); err != nil {
-			b.markFailure()
-			lastErr = err
-			continue
-		}
-		if j.isCancelled() {
-			return errors.New("job cancelled during retry placement")
-		}
-		rid, err := b.cl.Submit(ctx, sub)
-		if err != nil {
-			// A wire-level refusal is not a backend failure; only
-			// transport errors count toward flapping.
-			var ae *service.APIError
-			if !errors.As(err, &ae) {
-				b.markFailure()
-			}
-			lastErr = err
-			continue
-		}
-		j.merge.reset(sh.index)
-		sh.mu.Lock()
-		sh.backend, sh.remoteID = b, rid
+	if terminalState(sh.state) {
 		sh.mu.Unlock()
-		co.logger.InfoContext(ctx, "shard replaced", "backend", b.url,
-			"job", j.id, "shard", sh.index, "shards", sh.count, "remote_id", rid)
-		return nil
+		return false
 	}
-	if lastErr == nil {
-		lastErr = errors.New("all backends flapping")
+	sh.state = state
+	sh.err = err
+	others := append([]*attempt(nil), sh.attempts...)
+	sh.mu.Unlock()
+	for _, a := range others {
+		a.superseded.Store(true)
+		a.cancel()
 	}
-	return fmt.Errorf("no surviving backend accepted the shard: %v", lastErr)
+	co.shardSettled(j)
+	return true
 }
 
-func backendIndex(backends []*backend, b *backend) int {
-	for i, x := range backends {
-		if x == b {
-			return i
-		}
+// shardSettled accounts one shard reaching a terminal state; the last
+// one closes the work queue and wakes every dispatch loop to exit.
+func (co *Coordinator) shardSettled(j *cjob) {
+	j.smu.Lock()
+	j.remaining--
+	if j.remaining <= 0 {
+		j.closed = true
 	}
-	return 0
+	j.smu.Unlock()
+	j.cond.Broadcast()
 }
 
-// failShard records a shard failure and proactively cancels the
-// sibling sub-jobs so backends stop grading a job that can no longer
-// complete.
-func (co *Coordinator) failShard(j *cjob, sh *shard, err error) {
-	sh.finish(service.StateFailed, nil, err)
-	co.cancelSubJobs(j, sh)
+// failShard records a shard failure and aborts the job: with one shard
+// unrecoverable the merge can never complete, so every other sub-job
+// is stopped rather than graded to no end.
+func (co *Coordinator) failShard(lctx context.Context, j *cjob, sh *shard, err error) {
+	if !co.settleShard(j, sh, service.StateFailed, err) {
+		return
+	}
+	co.logger.WarnContext(lctx, "shard failed, aborting job",
+		"job", j.id, "shard", sh.index, "err", err)
+	co.abortJob(j)
 }
 
-// cancelSubJobs fans a cancel out to every placed sub-job except skip.
-// Best-effort: already-finished sub-jobs answer ErrFinished, dead
-// backends time out — neither changes the outcome.
-func (co *Coordinator) cancelSubJobs(j *cjob, skip *shard) {
+// abortJob stops all outstanding work on j: queued shards settle
+// immediately, live attempts' sub-jobs get a remote cancel. Shards
+// with in-flight attempts settle when those attempts observe the
+// cancellation.
+func (co *Coordinator) abortJob(j *cjob) {
+	j.aborted.Store(true)
+	j.smu.Lock()
+	queued := j.queue
+	j.queue = nil
+	j.smu.Unlock()
+	for _, sh := range queued {
+		co.settleShard(j, sh, service.StateCancelled, nil)
+	}
+	type rc struct {
+		b   *backend
+		rid string
+	}
+	var rcs []rc
 	for _, sh := range j.shards {
-		if sh == skip {
-			continue
+		sh.mu.Lock()
+		for _, a := range sh.attempts {
+			if a.remoteID != "" {
+				rcs = append(rcs, rc{b: a.backend, rid: a.remoteID})
+			}
 		}
-		b, rid := sh.placement()
-		if b == nil || rid == "" {
-			continue
-		}
-		go func(b *backend, rid string) {
-			ctx, cancel := context.WithTimeout(context.Background(), co.opts.ProbeTimeout)
-			defer cancel()
-			b.cl.Cancel(ctx, rid)
-		}(b, rid)
+		sh.mu.Unlock()
+	}
+	for _, r := range rcs {
+		go co.cancelRemote(j.tctx, j, r.b, r.rid, "abort")
+	}
+	j.cond.Broadcast()
+}
+
+// cancelRemote cancels one sub-job, logging failures with the job's
+// trace context: a cancel that silently fails leaves a backend grading
+// work nobody will read, and the log line is the only witness. Benign
+// refusals — the sub-job already finished or was evicted — are not
+// failures.
+func (co *Coordinator) cancelRemote(lctx context.Context, j *cjob, b *backend, rid, why string) {
+	if rid == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), co.opts.ProbeTimeout)
+	defer cancel()
+	if _, err := b.cl.Cancel(ctx, rid); err != nil &&
+		!errors.Is(err, service.ErrFinished) && !errors.Is(err, service.ErrNotFound) {
+		co.logger.WarnContext(lctx, "cancelling sub-job failed", "backend", b.url,
+			"job", j.id, "remote_id", rid, "reason", why, "err", err)
 	}
 }
 
-// finalize runs once every shard goroutine has returned: it merges the
-// shard results (all-done), or settles on the failed/cancelled state,
-// updates the cluster status and closes every subscriber channel.
+// finalize runs once every dispatch loop and attempt has returned: it
+// merges the shard results (all-done), or settles on the
+// failed/cancelled state, updates the cluster status and closes every
+// subscriber channel.
 func (co *Coordinator) finalize(j *cjob) {
 	state := service.StateDone
 	var firstErr error
@@ -782,7 +1434,7 @@ func (co *Coordinator) finalize(j *cjob) {
 			}
 		}
 	}
-	if j.isCancelled() && state != service.StateFailed {
+	if j.cancelled.Load() && state != service.StateFailed {
 		state = service.StateCancelled
 	}
 
@@ -959,9 +1611,10 @@ func (co *Coordinator) Result(ctx context.Context, id string) (*service.JobResul
 	return nil, service.ErrNotDone
 }
 
-// Cancel aborts a cluster job by fanning the cancel out to every
-// sub-job; each backend stops at its next 64-pattern block barrier.
-// Idempotent on cancelled jobs; ErrFinished after completion.
+// Cancel aborts a cluster job: the queue is drained and a cancel fans
+// out to every live sub-job; each backend stops at its next 64-pattern
+// block barrier. Idempotent on cancelled jobs; ErrFinished after
+// completion.
 func (co *Coordinator) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
 	j := co.job(id)
 	if j == nil {
@@ -978,10 +1631,10 @@ func (co *Coordinator) Cancel(ctx context.Context, id string) (service.JobStatus
 		j.mu.Unlock()
 		return st, nil
 	}
-	j.cancelled = true
 	st := j.status
 	j.mu.Unlock()
-	co.cancelSubJobs(j, nil)
+	j.cancelled.Store(true)
+	co.abortJob(j)
 	return st, nil
 }
 
@@ -1028,7 +1681,12 @@ func (co *Coordinator) Subscribe(id string) (<-chan service.ProgressEvent, func(
 		j.mu.Lock()
 		for i, s := range j.subs {
 			if s == sb {
-				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				// Shift-and-truncate with a nilled tail slot so the
+				// backing array does not pin the dead subscriber (and
+				// its queued events) until overwritten.
+				copy(j.subs[i:], j.subs[i+1:])
+				j.subs[len(j.subs)-1] = nil
+				j.subs = j.subs[:len(j.subs)-1]
 				break
 			}
 		}
@@ -1062,7 +1720,8 @@ func (co *Coordinator) Stream(ctx context.Context, id string, fn func(service.Pr
 }
 
 // Shards returns the per-shard placement state of a cluster job, for
-// diagnostics.
+// diagnostics. Backend and RemoteID name the latest placement while
+// the shard runs and the winning attempt once it is done.
 func (co *Coordinator) Shards(id string) ([]ShardStatus, error) {
 	j := co.job(id)
 	if j == nil {
@@ -1077,6 +1736,7 @@ func (co *Coordinator) Shards(id string) ([]ShardStatus, error) {
 			RemoteID: sh.remoteID,
 			State:    sh.state,
 			Retries:  sh.retries,
+			Attempts: sh.attemptSeq,
 		}
 		if sh.backend != nil {
 			st.Backend = sh.backend.url
@@ -1123,6 +1783,7 @@ func (co *Coordinator) Stats(ctx context.Context) (service.Stats, error) {
 		out.JobsCancelled += st.JobsCancelled
 		out.JobsRunning += st.JobsRunning
 		out.JobsQueued += st.JobsQueued
+		out.Workers += st.Workers
 		out.Registry.CircuitHits += st.Registry.CircuitHits
 		out.Registry.CircuitMisses += st.Registry.CircuitMisses
 		out.Registry.CircuitEvictions += st.Registry.CircuitEvictions
@@ -1149,9 +1810,11 @@ func (co *Coordinator) Jobs() []service.JobStatus {
 	return out
 }
 
-// Close waits for every submitted cluster job's orchestration to
-// finish (cancel them first for a fast shutdown).
+// Close stops the membership re-probe loop and waits for every
+// submitted cluster job's orchestration to finish (cancel them first
+// for a fast shutdown).
 func (co *Coordinator) Close() error {
+	co.stopOnce.Do(func() { close(co.stop) })
 	co.wg.Wait()
 	return nil
 }

@@ -179,12 +179,16 @@ func TestClusterBitIdentical(t *testing.T) {
 				if got := canonical(t, res); got != want {
 					t.Fatalf("cluster result diverges from single-node run\n got: %s\nwant: %s", got, want)
 				}
+				// The work queue over-partitions: ShardsPerBackend (default
+				// 4) shards per healthy backend, and on an all-healthy run
+				// every shard completes its single attempt with no steals
+				// or speculation.
 				shards, err := co.Shards("c1")
-				if err != nil || len(shards) != n {
-					t.Fatalf("shards: %v, %v (want %d)", shards, err, n)
+				if err != nil || len(shards) != 4*n {
+					t.Fatalf("shards: %v, %v (want %d)", shards, err, 4*n)
 				}
 				for _, sh := range shards {
-					if sh.State != service.StateDone || sh.Retries != 0 {
+					if sh.State != service.StateDone || sh.Retries != 0 || sh.Attempts != 1 {
 						t.Fatalf("shard %+v not cleanly done", sh)
 					}
 				}
@@ -362,8 +366,8 @@ func TestClusterFlappingExcluded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(shards) != 2 {
-		t.Fatalf("second job used %d shards, want 2 (flapping backend excluded)", len(shards))
+	if len(shards) != 8 {
+		t.Fatalf("second job used %d shards, want 8 (4 per survivor, flapping backend excluded)", len(shards))
 	}
 	for _, sh := range shards {
 		if sh.Backend == dsrv.URL {
@@ -411,22 +415,35 @@ func TestClusterBackendDrainRetries(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Cancel backend 1's sub-job directly, exactly what its Drain()
-	// would do on SIGTERM.
-	shards, err := co.Shards(id)
-	if err != nil {
-		t.Fatal(err)
-	}
+	// would do on SIGTERM. Only the canary is guaranteed placed when
+	// Submit returns — the dispatch loops place the rest — so poll
+	// until a shard lands on backend 1.
 	drained := -1
-	for _, sh := range shards {
-		if sh.Backend == urls[1] {
-			drained = sh.Index
-			if _, err := svcs[1].Cancel(sh.RemoteID); err != nil {
-				t.Fatalf("backend-side cancel: %v", err)
+	deadline := time.Now().Add(5 * time.Second)
+	for drained < 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no shard placed on backend 1")
+		}
+		shards, err := co.Shards(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range shards {
+			if sh.Backend == urls[1] && sh.RemoteID != "" && sh.State == service.StateRunning {
+				if _, err := svcs[1].Cancel(sh.RemoteID); err != nil {
+					// The sub-job can finish between the Shards snapshot
+					// and the cancel — small shards are quick. Try the
+					// next running one.
+					if errors.Is(err, service.ErrFinished) || errors.Is(err, service.ErrNotFound) {
+						continue
+					}
+					t.Fatalf("backend-side cancel: %v", err)
+				}
+				drained = sh.Index
+				break
 			}
 		}
-	}
-	if drained < 0 {
-		t.Fatal("no shard placed on backend 1")
+		time.Sleep(2 * time.Millisecond)
 	}
 
 	st, err := co.Stream(ctx, id, nil)
@@ -443,7 +460,7 @@ func TestClusterBackendDrainRetries(t *testing.T) {
 	if got := canonical(t, res); got != want {
 		t.Fatalf("result after backend drain diverges\n got: %s\nwant: %s", got, want)
 	}
-	shards, _ = co.Shards(id)
+	shards, _ := co.Shards(id)
 	if shards[drained].Retries == 0 {
 		t.Fatalf("drained shard %d was not retried: %+v", drained, shards[drained])
 	}
@@ -580,8 +597,11 @@ func TestClusterErrorsContract(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.JobsDone != 2 { // one sub-job per backend
-		t.Fatalf("summed backend stats JobsDone = %d, want 2", st.JobsDone)
+	if st.JobsDone != 8 { // 4 shards per backend, one attempt each
+		t.Fatalf("summed backend stats JobsDone = %d, want 8", st.JobsDone)
+	}
+	if st.Workers <= 0 {
+		t.Fatalf("summed backend stats Workers = %d, want > 0 (capacity hints feed placement)", st.Workers)
 	}
 }
 

@@ -12,9 +12,11 @@ import (
 // per-block feed. A merged event for block b is emitted once every
 // shard has either reported block b or finished earlier (a shard whose
 // faults all dropped stops streaming early; from then on it
-// contributes its final counters). Shard reruns after a backend death
-// reset their track and re-report identical per-block stats, so the
-// merged feed never regresses and never double-counts.
+// contributes its final counters). Shard reruns and speculative
+// duplicates replay identical per-block stats (grading is
+// deterministic), so a track tolerates multiple concurrent reporters:
+// replayed blocks below the frontier only fill holes, and the merged
+// feed never regresses and never double-counts.
 type merger struct {
 	jobID string
 
@@ -55,17 +57,27 @@ func (m *merger) update(i int, ev service.ProgressEvent) []service.ProgressEvent
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	t := &m.tracks[i]
+	st := blockStat{vectorsUsed: ev.VectorsUsed, detected: ev.Detected, active: ev.Active}
+	if ev.Block < t.blocksDone {
+		// A duplicate attempt (speculation, or a rerun after a death)
+		// replaying blocks another attempt already reported. The stats
+		// are bit-identical, so it may fill a gap-filled hole with the
+		// authentic value, but must not touch the frontier: regressing
+		// last/blocksDone would let later gap-fills inherit stale
+		// counters.
+		if _, ok := t.hist[ev.Block]; !ok && ev.Block >= m.emitted {
+			t.hist[ev.Block] = st
+		}
+		return m.collectLocked()
+	}
 	for b := t.blocksDone; b < ev.Block; b++ {
 		if _, ok := t.hist[b]; !ok {
 			t.hist[b] = t.last
 		}
 	}
-	st := blockStat{vectorsUsed: ev.VectorsUsed, detected: ev.Detected, active: ev.Active}
 	t.hist[ev.Block] = st
 	t.last = st
-	if ev.Block+1 > t.blocksDone {
-		t.blocksDone = ev.Block + 1
-	}
+	t.blocksDone = ev.Block + 1
 	if ev.Blocks > m.blocks {
 		m.blocks = ev.Blocks
 	}
@@ -80,13 +92,6 @@ func (m *merger) markDone(i int, st service.JobStatus) {
 	t := &m.tracks[i]
 	t.done = true
 	t.final = blockStat{vectorsUsed: st.VectorsUsed, detected: st.Detected, active: st.Active}
-}
-
-// reset clears shard i's track for a rerun on another backend.
-func (m *merger) reset(i int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.tracks[i] = shardTrack{hist: make(map[int]blockStat)}
 }
 
 // collect returns any merged events that are complete but unemitted

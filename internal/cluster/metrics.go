@@ -11,11 +11,14 @@ import "github.com/eda-go/adifo/internal/obs"
 type clusterMetrics struct {
 	reg *obs.Registry
 
-	probeSeconds *obs.HistogramVec // backend
-	shardRetries *obs.Counter
-	exclusions   *obs.CounterVec // backend
-	mergeSeconds *obs.Histogram
-	jobsTotal    *obs.CounterVec // status (terminal only)
+	probeSeconds     *obs.HistogramVec // backend
+	shardRetries     *obs.Counter
+	exclusions       *obs.CounterVec // backend
+	mergeSeconds     *obs.Histogram
+	jobsTotal        *obs.CounterVec // status (terminal only)
+	shardsStolen     *obs.Counter
+	shardsSpeculated *obs.Counter
+	speculationWins  *obs.Counter
 }
 
 func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
@@ -35,5 +38,11 @@ func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
 	for _, st := range []string{"done", "failed", "cancelled"} {
 		m.jobsTotal.With(st)
 	}
+	m.shardsStolen = reg.Counter("adifo_cluster_shards_stolen_total",
+		"Shards stolen from a backlogged backend before their sub-job made progress.")
+	m.shardsSpeculated = reg.Counter("adifo_cluster_shards_speculated_total",
+		"Speculative duplicate attempts launched on idle backends for slow shards.")
+	m.speculationWins = reg.Counter("adifo_cluster_speculation_wins_total",
+		"Speculative duplicates that finished before the original attempt.")
 	return m
 }

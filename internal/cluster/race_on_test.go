@@ -1,0 +1,9 @@
+//go:build race
+
+package cluster
+
+// raceEnabled lets timing-sensitive chaos tests widen their margins:
+// the race detector slows simulation roughly an order of magnitude,
+// which would otherwise invert the fast-duplicate-vs-held-original
+// ordering the tests assert.
+const raceEnabled = true

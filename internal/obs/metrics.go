@@ -155,6 +155,32 @@ func (f *family) get(values []string, make func() any) any {
 	return m
 }
 
+// delete drops the series for the given label values; a no-op when the
+// series was never created. The next With for the same values starts a
+// fresh series from zero, so deletion is only sound for label sets
+// whose zero restart is meaningful (gauges tracking live state, or
+// counters whose consumers tolerate resets, as Prometheus ones do).
+func (f *family) delete(values []string) {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s has %d labels, got %d values", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, seriesKeySep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.series[key]; !ok {
+		return
+	}
+	delete(f.series, key)
+	for i, k := range f.order {
+		if k == key {
+			copy(f.order[i:], f.order[i+1:])
+			f.order[len(f.order)-1] = ""
+			f.order = f.order[:len(f.order)-1]
+			break
+		}
+	}
+}
+
 // CounterVec is a counter family partitioned by label values.
 type CounterVec struct{ f *family }
 
@@ -164,6 +190,11 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.get(values, func() any { return &Counter{} }).(*Counter)
 }
 
+// Delete drops the series for the given label values from the
+// exposition, bounding label cardinality when a label value (a tenant,
+// a backend) leaves the system for good.
+func (v *CounterVec) Delete(values ...string) { v.f.delete(values) }
+
 // GaugeVec is a gauge family partitioned by label values.
 type GaugeVec struct{ f *family }
 
@@ -171,12 +202,20 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	return v.f.get(values, func() any { return &Gauge{} }).(*Gauge)
 }
 
+// Delete drops the series for the given label values from the
+// exposition.
+func (v *GaugeVec) Delete(values ...string) { v.f.delete(values) }
+
 // HistogramVec is a histogram family partitioned by label values.
 type HistogramVec struct{ f *family }
 
 func (v *HistogramVec) With(values ...string) *Histogram {
 	return v.f.get(values, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
 }
+
+// Delete drops the series for the given label values from the
+// exposition.
+func (v *HistogramVec) Delete(values ...string) { v.f.delete(values) }
 
 // Registry holds named metrics and renders them in Prometheus text
 // exposition format. Families expose in registration order; series

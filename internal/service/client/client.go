@@ -68,13 +68,37 @@ func decodeError(method, path string, resp *http.Response) error {
 	}
 	if json.NewDecoder(resp.Body).Decode(&env) == nil && env.Err.Code != "" {
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			if secs := parseRetryAfter(ra, time.Now()); secs > 0 {
 				env.Err.RetryAfter = secs
 			}
 		}
 		return fmt.Errorf("%s %s (HTTP %d): %w", method, path, resp.StatusCode, &env.Err)
 	}
 	return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+}
+
+// parseRetryAfter interprets both forms RFC 9110 allows for the
+// Retry-After header: delta-seconds and an HTTP-date. Dates convert to
+// whole seconds from now, rounding up so a sub-second wait does not
+// truncate to "no wait"; past dates, non-positive deltas and
+// unparseable values all read as absent (0) — a proxy-mangled header
+// must degrade to the client's own backoff, not stall it.
+func parseRetryAfter(v string, now time.Time) int {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs > 0 {
+			return secs
+		}
+		return 0
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
+		return 0
+	}
+	d := t.Sub(now)
+	if d <= 0 {
+		return 0
+	}
+	return int((d + time.Second - 1) / time.Second)
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {

@@ -235,3 +235,54 @@ func TestClientSubmitKeepsCallerKey(t *testing.T) {
 		t.Fatalf("caller key did not dedupe: %s vs %s", id1, id2)
 	}
 }
+
+// TestParseRetryAfter covers both header forms RFC 9110 allows: delta
+// seconds and an HTTP-date. Dates convert to ceil'd whole seconds from
+// now; the past, zero, and garbage all mean "no wait".
+func TestParseRetryAfter(t *testing.T) {
+	// now carries a fraction of a second: HTTP-dates have whole-second
+	// resolution, so every date delta is fractional and must ceil.
+	now := time.Date(2026, 8, 8, 12, 0, 0, 300e6, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want int
+	}{
+		{"delta seconds", "7", 7},
+		{"zero delta", "0", 0},
+		{"negative delta", "-3", 0},
+		{"http date ahead ceils", now.Add(30 * time.Second).UTC().Format(http.TimeFormat), 30},
+		{"http date fractional ceils", now.Add(2 * time.Second).UTC().Format(http.TimeFormat), 2},
+		{"http date past", now.Add(-time.Minute).UTC().Format(http.TimeFormat), 0},
+		{"http date now truncates to past", now.UTC().Format(http.TimeFormat), 0},
+		{"garbage", "soon", 0},
+		{"empty", "", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.v, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %d, want %d", tc.name, tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestClientSubmitHonorsRetryAfterDate: the wait path accepts the
+// HTTP-date form end to end, not just the delta-seconds form.
+func TestClientSubmitHonorsRetryAfterDate(t *testing.T) {
+	defer func(u time.Duration) { retryAfterUnit = u }(retryAfterUnit)
+	retryAfterUnit = time.Millisecond
+	date := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	hits, h := overloadedThenAccept(1, date)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	cl := New(srv.URL, srv.Client())
+	id, err := cl.Submit(context.Background(), service.JobSpec{
+		Circuit: "c17", Mode: "drop",
+		Patterns: service.PatternSpec{Random: &service.RandomSpec{N: 16, Seed: 1}},
+	})
+	if err != nil {
+		t.Fatalf("submit through dated 429: %v", err)
+	}
+	if id == "" || hits.Load() < 2 {
+		t.Fatalf("id %q after %d attempts, want a retry after the dated 429", id, hits.Load())
+	}
+}

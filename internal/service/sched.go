@@ -34,6 +34,27 @@ type tenantQueue struct {
 	pass   float64
 	stride float64
 	limit  int
+	// idleSince is the scheduler event count at which the queue last
+	// became empty; meaningful only while it is empty. It validates
+	// idle marks: a tenant that re-entered and idled again carries a
+	// newer mark, and the stale one is skipped.
+	idleSince uint64
+}
+
+// pruneAfter is how many scheduler events (dispatches and removals) a
+// tenant queue may sit empty before the scheduler drops it. The window
+// keeps recent tenants' stride state intact — a tenant that was just
+// dispatched re-enters at pass = base + stride, not at base, exactly
+// as if it had never left — while a tenant that stays idle for a full
+// window has long since been overtaken by base and re-enters at base
+// either way, so dropping its queue changes nothing observable.
+const pruneAfter = 64
+
+// idleMark remembers when one tenant's queue went empty, in event
+// order, so pruning pops marks FIFO instead of scanning the map.
+type idleMark struct {
+	tenant string
+	since  uint64
 }
 
 // scheduler is the per-tenant weighted-fair queue set, replacing the
@@ -46,10 +67,50 @@ type scheduler struct {
 	// (or re-entering after idling) start here, so an idle tenant
 	// cannot bank virtual time and then monopolize the pool.
 	base float64
+	// events counts pops and removals; idle-tenant pruning is measured
+	// in these events so a quiet server prunes nothing (nothing grows)
+	// and a busy one prunes promptly.
+	events uint64
+	// idle lists empty tenant queues oldest-first; prune consumes it.
+	idle []idleMark
+	// onPrune, when set, observes each pruned tenant name — the
+	// service deletes the tenant's queue-depth gauge label so metric
+	// cardinality tracks live tenants, not all tenants ever seen.
+	onPrune func(tenant string)
 }
 
 func newScheduler() *scheduler {
 	return &scheduler{tenants: make(map[string]*tenantQueue)}
+}
+
+// markIdle records that tq just became empty; prune drops it if it is
+// still empty a full window later.
+func (sc *scheduler) markIdle(tq *tenantQueue) {
+	tq.idleSince = sc.events
+	sc.idle = append(sc.idle, idleMark{tenant: tq.name, since: sc.events})
+}
+
+// prune drops tenant queues that have sat empty for a full window,
+// releasing the per-tenant map entry and (via onPrune) the metric
+// label. The default tenant ("") is exempt: its gauge label is
+// pre-created at wiring time and part of the stable exposition.
+func (sc *scheduler) prune() {
+	for len(sc.idle) > 0 && sc.events-sc.idle[0].since >= pruneAfter {
+		m := sc.idle[0]
+		sc.idle[0] = idleMark{}
+		sc.idle = sc.idle[1:]
+		tq, ok := sc.tenants[m.tenant]
+		if !ok || len(tq.queue) > 0 || tq.idleSince != m.since || m.tenant == "" {
+			continue
+		}
+		delete(sc.tenants, m.tenant)
+		if sc.onPrune != nil {
+			sc.onPrune(m.tenant)
+		}
+	}
+	if len(sc.idle) == 0 {
+		sc.idle = nil
+	}
 }
 
 // tenantFor returns (creating if needed) tenant's queue, configured
@@ -99,6 +160,11 @@ func (sc *scheduler) pop() *job {
 	sc.base = best.pass
 	best.pass += best.stride
 	sc.queued--
+	sc.events++
+	if len(best.queue) == 0 {
+		sc.markIdle(best)
+	}
+	sc.prune()
 	return j
 }
 
@@ -111,8 +177,19 @@ func (sc *scheduler) remove(j *job) bool {
 	}
 	for i, q := range tq.queue {
 		if q == j {
-			tq.queue = append(tq.queue[:i], tq.queue[i+1:]...)
+			// Shift-and-truncate, nilling the vacated tail slot like
+			// pop does: the backing array must not pin the removed
+			// job (its spec and result bytes) until it happens to be
+			// overwritten.
+			copy(tq.queue[i:], tq.queue[i+1:])
+			tq.queue[len(tq.queue)-1] = nil
+			tq.queue = tq.queue[:len(tq.queue)-1]
 			sc.queued--
+			sc.events++
+			if len(tq.queue) == 0 {
+				sc.markIdle(tq)
+			}
+			sc.prune()
 			return true
 		}
 	}
@@ -120,7 +197,10 @@ func (sc *scheduler) remove(j *job) bool {
 }
 
 // drainAll empties every tenant queue and returns the dequeued jobs in
-// tenant-then-FIFO order; Drain cancels them.
+// tenant-then-FIFO order; Drain cancels them. A draining server has no
+// fairness left to preserve, so every tenant's stride state (and gauge
+// label) is dropped immediately instead of waiting out the idle
+// window.
 func (sc *scheduler) drainAll() []*job {
 	var out []*job
 	for _, tq := range sc.tenants {
@@ -128,6 +208,16 @@ func (sc *scheduler) drainAll() []*job {
 		tq.queue = nil
 	}
 	sc.queued = 0
+	for name := range sc.tenants {
+		if name == "" {
+			continue
+		}
+		delete(sc.tenants, name)
+		if sc.onPrune != nil {
+			sc.onPrune(name)
+		}
+	}
+	sc.idle = nil
 	return out
 }
 

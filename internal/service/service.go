@@ -329,6 +329,11 @@ type Stats struct {
 	JobsRejected uint64 `json:"jobs_rejected"`
 	JobsRunning  int    `json:"jobs_running"`
 	JobsQueued   int    `json:"jobs_queued"`
+	// Workers is the server's configured per-job shard worker bound
+	// (Config.SimWorkers) — a capacity hint cluster coordinators use to
+	// weight placement across heterogeneous backends. Omitted by old
+	// servers; 0 means unknown.
+	Workers int `json:"workers,omitempty"`
 	// UptimeSeconds is the service's age; Version the build version —
 	// the same values the adifo_uptime_seconds and adifo_build_info
 	// metrics expose.
@@ -492,6 +497,12 @@ func Open(cfg Config) (*Service, error) {
 	s.start = s.now()
 	s.traces = trace.NewRecorder(trace.RecorderOptions{})
 	s.met = newServiceMetrics(s.metrics, s)
+	// A pruned tenant's gauge label leaves the exposition with it, so
+	// /metrics cardinality tracks live tenants, not every tenant name
+	// the server has ever seen.
+	s.sched.onPrune = func(tenant string) {
+		s.met.tenantQueueDepth.Delete(tenantLabel(tenant))
+	}
 	if cfg.JournalDir != "" {
 		// Open before replay: the journal only ever appends to a fresh
 		// segment, so the replay scan sees every pre-crash segment plus
@@ -915,7 +926,12 @@ func (s *Service) Subscribe(id string) (<-chan ProgressEvent, func(), bool) {
 		j.mu.Lock()
 		for i, c := range j.subs {
 			if c == ch {
-				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				// Nil the vacated tail slot so the backing array does
+				// not pin the channel (and its buffered events) after
+				// the subscriber is gone.
+				copy(j.subs[i:], j.subs[i+1:])
+				j.subs[len(j.subs)-1] = nil
+				j.subs = j.subs[:len(j.subs)-1]
 				break
 			}
 		}
@@ -936,6 +952,7 @@ func (s *Service) Stats() Stats {
 		JobsCancelled: s.cancelled,
 		JobsDeduped:   s.deduped,
 		JobsRejected:  s.rejected,
+		Workers:       s.cfg.SimWorkers,
 		UptimeSeconds: s.now().Sub(s.start).Seconds(),
 		Version:       obs.Version,
 	}
@@ -976,7 +993,13 @@ func (s *Service) Drain() {
 	s.draining = true
 	dropped := s.sched.drainAll()
 	for _, j := range dropped {
-		s.met.tenantQueueDepth.With(tenantLabel(j.tenant)).Dec()
+		// drainAll already deleted every non-default tenant's gauge
+		// label via onPrune; decrementing those here would resurrect
+		// the label at a negative value. Only the default tenant's
+		// pre-created, never-pruned series still needs the decrement.
+		if j.tenant == "" {
+			s.met.tenantQueueDepth.With(tenantLabel("")).Dec()
+		}
 	}
 	s.rejected += uint64(len(dropped))
 	ids := append([]string(nil), s.order...)

@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -203,4 +204,96 @@ func TestValidateTenancyBounds(t *testing.T) {
 		t.Fatalf("boundary-length fields rejected: %v", err)
 	}
 	waitTerminal(t, s, id)
+}
+
+// TestSchedulerPrunesIdleTenants drives the scheduler directly through
+// a long tenant churn: thousands of one-shot tenants enqueue, dispatch
+// and idle, and the tenant map stays bounded by the prune window
+// instead of growing with every tenant ever seen.
+func TestSchedulerPrunesIdleTenants(t *testing.T) {
+	limits := map[string]TenantLimit{}
+	sc := newScheduler()
+	pruned := 0
+	sc.onPrune = func(string) { pruned++ }
+	const churn = 5000
+	for i := 0; i < churn; i++ {
+		name := fmt.Sprintf("t%d", i)
+		sc.enqueue(sc.tenantFor(name, limits), &job{id: name, tenant: name})
+		if sc.pop() == nil {
+			t.Fatalf("pop %d returned nil with work queued", i)
+		}
+		// Each enqueue+pop is one scheduler event; a tenant idles for at
+		// most pruneAfter events before prune reclaims it.
+		if n := len(sc.tenants); n > pruneAfter+1 {
+			t.Fatalf("tenant map grew to %d entries after %d one-shot tenants (window %d)",
+				n, i+1, pruneAfter)
+		}
+	}
+	if pruned < churn-pruneAfter-1 {
+		t.Fatalf("onPrune observed %d tenants, want >= %d", pruned, churn-pruneAfter-1)
+	}
+	// The idle-mark list drains along with the map.
+	if len(sc.idle) > pruneAfter+1 {
+		t.Fatalf("idle mark list holds %d entries, want <= %d", len(sc.idle), pruneAfter+1)
+	}
+}
+
+// TestTenantChurnBoundedCardinality is the end-to-end churn stress: a
+// stream of short-lived tenants (some cancelled mid-queue) must leave
+// neither tenant-queue state nor adifo_tenant_queue_depth label series
+// behind beyond the prune window. Run with -race: submits, cancels and
+// the dispatcher race on the scheduler throughout.
+func TestTenantChurnBoundedCardinality(t *testing.T) {
+	s := New(Config{Logger: obs.Nop(), SimWorkers: 1, MaxConcurrentJobs: 4})
+	defer s.Close()
+
+	const churn = 400
+	var ids []string
+	for i := 0; i < churn; i++ {
+		spec := JobSpec{Circuit: "c17", Mode: "drop",
+			Tenant:   fmt.Sprintf("churn-%d", i),
+			Patterns: PatternSpec{Random: &RandomSpec{N: 16, Seed: uint64(i)}}}
+		id, err := s.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit tenant %d: %v", i, err)
+		}
+		ids = append(ids, id)
+		// Cancel roughly half while they may still be queued — removal
+		// events must mark tenants idle exactly like dispatches do.
+		if i%2 == 1 {
+			s.Cancel(id)
+		}
+	}
+	for _, id := range ids {
+		waitTerminal(t, s, id)
+	}
+
+	s.mu.Lock()
+	live := len(s.sched.tenants)
+	s.mu.Unlock()
+	// The default tenant is exempt from pruning; everything else must
+	// sit within the idle window.
+	if live > pruneAfter+2 {
+		t.Fatalf("scheduler retains %d tenant queues after churn of %d, want <= %d",
+			live, churn, pruneAfter+2)
+	}
+
+	_, body := httpGet(t, s.Metrics().Handler(), "/")
+	labels := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "adifo_tenant_queue_depth{") {
+			labels++
+		}
+	}
+	if labels > pruneAfter+2 {
+		t.Fatalf("exposition carries %d tenant_queue_depth series after churn of %d, want <= %d",
+			labels, churn, pruneAfter+2)
+	}
+	// And the series that do remain must all read zero — nothing is
+	// queued anymore.
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "adifo_tenant_queue_depth{") && !strings.HasSuffix(line, " 0") {
+			t.Errorf("non-zero queue depth after quiescence: %s", line)
+		}
+	}
 }

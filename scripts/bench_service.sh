@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
 # Runs the serving-path benchmarks — the single-process grading service
-# (BenchmarkServiceThroughput) and the fault-sharded cluster path
-# (BenchmarkClusterGrade) — and writes the raw `go test -json` event
+# (BenchmarkServiceThroughput), the fault-sharded cluster path
+# (BenchmarkClusterGrade) and the same cluster with one straggling
+# backend (BenchmarkClusterGradeStraggler, which exercises shard
+# stealing and speculation) — and writes the raw `go test -json` event
 # stream to BENCH_service.json, the artifact CI uploads per commit so
-# the serving-path perf trajectory is recorded over time.
+# the serving-path perf trajectory is recorded over time. The gap
+# between the two cluster numbers tracks the tail-latency machinery.
 #
 # Usage: scripts/bench_service.sh [output-file]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_service.json}"
-go test -run '^$' -bench 'BenchmarkServiceThroughput$|BenchmarkClusterGrade$' \
+go test -run '^$' -bench 'BenchmarkServiceThroughput$|BenchmarkClusterGrade$|BenchmarkClusterGradeStraggler$' \
   -benchtime "${ADIFO_BENCHTIME:-5x}" -count 1 -json . > "$out"
 
 # Fail loudly if the run did not actually benchmark anything.
 grep -q 'BenchmarkServiceThroughput' "$out"
 grep -q 'BenchmarkClusterGrade' "$out"
+grep -q 'BenchmarkClusterGradeStraggler' "$out"
 echo "wrote $out:"
 grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' "$out" | sed 's/"Output":"//; s/\\n"$//' || true
 
