@@ -75,6 +75,8 @@ grade flags:
                  healthy backend feed the work queue (default 4)
   -mode m        nodrop, drop or ndetect
   -ndet k        drop threshold for ndetect mode
+  -block-width w simulation block width in patterns: 64, 256 or 512
+                 (default 0 = the widest block the job justifies)
   -quiet         suppress per-block progress lines
 `)
 	os.Exit(2)
@@ -89,12 +91,13 @@ type options struct {
 	order      string
 	limit      int
 
-	servers  serverList
-	shardsK  int
-	mode     string
-	ndet     int
-	fillseed uint64
-	quiet    bool
+	servers    serverList
+	shardsK    int
+	mode       string
+	ndet       int
+	blockWidth int
+	fillseed   uint64
+	quiet      bool
 }
 
 // serverList is the repeatable -server flag: one URL grades remotely,
@@ -128,6 +131,7 @@ func main() {
 	fs.IntVar(&o.shardsK, "shards-per-backend", 0, "cluster fault shards per healthy backend (0 = default)")
 	fs.StringVar(&o.mode, "mode", "nodrop", "grading mode: nodrop, drop or ndetect")
 	fs.IntVar(&o.ndet, "ndet", 0, "drop threshold for ndetect mode")
+	fs.IntVar(&o.blockWidth, "block-width", 0, "simulation block width in patterns: 64, 256 or 512 (0 = auto)")
 	fs.Uint64Var(&o.fillseed, "fillseed", adifo.DefaultFillSeed, "seed for the ATPG's random fill of unspecified inputs")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress per-block progress lines")
 	fs.Parse(os.Args[2:])
@@ -331,6 +335,7 @@ func gradeSpec(o options) (adifo.JobSpec, error) {
 	spec := baseSpec(o)
 	spec.Mode = o.mode
 	spec.N = o.ndet
+	spec.BlockWidth = o.blockWidth
 	return spec, nil
 }
 

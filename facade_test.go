@@ -102,9 +102,22 @@ func TestFacadeSimulateOptions(t *testing.T) {
 		t.Fatal("ADIFromResult must reject a Drop-mode result")
 	}
 
+	// A pinned kernel block width changes speed, never results.
+	wide, err := adifo.Simulate(ctx, faults, ps, adifo.WithBlockWidth(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.DetectedCount() != noDrop.DetectedCount() || wide.VectorsUsed != noDrop.VectorsUsed {
+		t.Fatalf("block width changed results: %d/%d vs %d/%d",
+			wide.DetectedCount(), wide.VectorsUsed, noDrop.DetectedCount(), noDrop.VectorsUsed)
+	}
+
 	// Option validation surfaces as errors, not panics.
 	if _, err := adifo.Simulate(ctx, faults, ps, adifo.WithMode(adifo.NDetect)); err == nil {
 		t.Fatal("NDetect without a threshold must error")
+	}
+	if _, err := adifo.Simulate(ctx, faults, ps, adifo.WithBlockWidth(100)); err == nil {
+		t.Fatal("invalid block width must error")
 	}
 	bad := adifo.RandomPatterns(c.NumInputs()+1, 64, 1)
 	if _, err := adifo.Simulate(ctx, faults, bad); err == nil {

@@ -1,0 +1,152 @@
+package circuit_test
+
+import (
+	"testing"
+
+	"github.com/eda-go/adifo/internal/benchdata"
+	"github.com/eda-go/adifo/internal/circuit"
+	"github.com/eda-go/adifo/internal/gen"
+)
+
+// verifyCompiled cross-checks every array of a compiled form against
+// the source circuit's per-gate representation.
+func verifyCompiled(t *testing.T, c *circuit.Circuit) {
+	t.Helper()
+	cc := circuit.Compile(c)
+	n := c.NumGates()
+	if cc.Circuit != c {
+		t.Fatal("Compiled.Circuit does not point at the source netlist")
+	}
+	if cc.Fingerprint != c.Fingerprint() {
+		t.Fatal("Fingerprint not captured at compile time")
+	}
+	if cc.NumGates() != n || cc.NumInputs() != c.NumInputs() {
+		t.Fatalf("size mismatch: %d/%d gates, %d/%d inputs",
+			cc.NumGates(), n, cc.NumInputs(), c.NumInputs())
+	}
+	if cc.MaxLevel != c.MaxLevel {
+		t.Fatalf("MaxLevel = %d, circuit has %d", cc.MaxLevel, c.MaxLevel)
+	}
+
+	maxFanin := 0
+	for g := 0; g < n; g++ {
+		gate := c.Gates[g]
+		if cc.Type[g] != gate.Type {
+			t.Fatalf("gate %d: type %v, want %v", g, cc.Type[g], gate.Type)
+		}
+		if int(cc.Level[g]) != c.Level[g] {
+			t.Fatalf("gate %d: level %d, want %d", g, cc.Level[g], c.Level[g])
+		}
+		if cc.Output[g] != c.IsOutput(g) {
+			t.Fatalf("gate %d: output flag %v, want %v", g, cc.Output[g], c.IsOutput(g))
+		}
+		fanin := cc.GateFanin(g)
+		if len(fanin) != len(gate.Fanin) {
+			t.Fatalf("gate %d: %d fanins, want %d", g, len(fanin), len(gate.Fanin))
+		}
+		for k, f := range gate.Fanin {
+			if int(fanin[k]) != f {
+				t.Fatalf("gate %d pin %d: fanin %d, want %d", g, k, fanin[k], f)
+			}
+		}
+		if len(gate.Fanin) > maxFanin {
+			maxFanin = len(gate.Fanin)
+		}
+		fanout := cc.Fanout[cc.FanoutStart[g]:cc.FanoutStart[g+1]]
+		if len(fanout) != len(c.Fanout[g]) {
+			t.Fatalf("gate %d: %d fanouts, want %d", g, len(fanout), len(c.Fanout[g]))
+		}
+		for k, fo := range c.Fanout[g] {
+			if int(fanout[k]) != fo.Gate {
+				t.Fatalf("gate %d fanout %d: %d, want %d", g, k, fanout[k], fo.Gate)
+			}
+		}
+	}
+	if cc.MaxFanin != maxFanin {
+		t.Fatalf("MaxFanin = %d, want %d", cc.MaxFanin, maxFanin)
+	}
+
+	// Order must be a permutation of all gate ids, level-major with
+	// ascending ids inside each level, delimited exactly by LevelStart.
+	if len(cc.Order) != n || len(cc.LevelStart) != cc.MaxLevel+2 {
+		t.Fatalf("Order/LevelStart sized %d/%d, want %d/%d",
+			len(cc.Order), len(cc.LevelStart), n, cc.MaxLevel+2)
+	}
+	seen := make([]bool, n)
+	for l := 0; l <= cc.MaxLevel; l++ {
+		lo, hi := cc.LevelStart[l], cc.LevelStart[l+1]
+		for i := lo; i < hi; i++ {
+			g := cc.Order[i]
+			if int(cc.Level[g]) != l {
+				t.Fatalf("Order[%d] = gate %d at level %d inside bucket %d", i, g, cc.Level[g], l)
+			}
+			if seen[g] {
+				t.Fatalf("gate %d appears twice in Order", g)
+			}
+			seen[g] = true
+			if i > lo && cc.Order[i-1] >= g {
+				t.Fatalf("Order not ascending within level %d: %d then %d", l, cc.Order[i-1], g)
+			}
+		}
+	}
+	if int(cc.LevelStart[cc.MaxLevel+1]) != n {
+		t.Fatalf("LevelStart does not cover all %d gates", n)
+	}
+
+	// Level 0 is exactly the PIs, in ascending id order — the property
+	// that lets evaluation start at Order[LevelStart[1]:].
+	if int(cc.LevelStart[1]) != c.NumInputs() {
+		t.Fatalf("level-0 bucket holds %d gates, want %d PIs", cc.LevelStart[1], c.NumInputs())
+	}
+	for i := 0; i < int(cc.LevelStart[1]); i++ {
+		if cc.Type[cc.Order[i]] != circuit.PI {
+			t.Fatalf("level-0 gate %d is %v, not PI", cc.Order[i], cc.Type[cc.Order[i]])
+		}
+	}
+
+	for i, g := range c.Inputs {
+		if int(cc.Inputs[i]) != g {
+			t.Fatalf("Inputs[%d] = %d, want %d", i, cc.Inputs[i], g)
+		}
+	}
+	for i, g := range c.Outputs {
+		if int(cc.Outputs[i]) != g {
+			t.Fatalf("Outputs[%d] = %d, want %d", i, cc.Outputs[i], g)
+		}
+	}
+}
+
+func TestCompileBenchCircuits(t *testing.T) {
+	for _, name := range []string{"c17", "lion", "s27"} {
+		c, err := benchdata.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) { verifyCompiled(t, c) })
+	}
+}
+
+func TestCompileGeneratedCircuits(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		c := gen.Generate(gen.Config{Name: "cmp", Inputs: 12, Gates: 400, Seed: seed})
+		verifyCompiled(t, c)
+	}
+}
+
+// BenchmarkCompile measures the one-time lowering cost per netlist —
+// the price the registry pays on a compiled-cache miss.
+func BenchmarkCompile(b *testing.B) {
+	for _, name := range []string{"irs5378", "irs13207"} {
+		sc, ok := gen.SuiteByName(name)
+		if !ok {
+			b.Fatalf("suite circuit %s missing", name)
+		}
+		c := sc.Build()
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = circuit.Compile(c)
+			}
+		})
+	}
+}

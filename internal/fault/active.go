@@ -7,19 +7,38 @@ package fault
 // snapshotting it costs O(active) instead of re-collapsing the fault
 // universe.
 //
-// The zero value is not useful; construct with NewActiveSet.
+// The zero value is not useful; construct with NewActiveSet or
+// NewActiveSetOrdered.
 type ActiveSet struct {
 	n   int
 	idx []int
+	// orig is the full iteration order Reset restores; nil means the
+	// identity order (NewActiveSet).
+	orig []int
 }
 
-// NewActiveSet returns an active set over faults 0..n-1, all active.
+// NewActiveSet returns an active set over faults 0..n-1, all active,
+// iterated in increasing index order.
 func NewActiveSet(n int) *ActiveSet {
 	a := &ActiveSet{n: n, idx: make([]int, n)}
 	for i := range a.idx {
 		a.idx[i] = i
 	}
 	return a
+}
+
+// NewActiveSetOrdered returns an active set over faults 0..n-1, all
+// active, iterated in the given order. order must be a permutation of
+// 0..n-1; the slice is retained (Reset restores it) and must not be
+// modified by the caller afterwards. Iteration order never changes
+// which faults drop — per-fault accounting is order-independent — it
+// is a scheduling lever: the parallel simulator orders faults by site
+// level so shards get cones of similar depth.
+func NewActiveSetOrdered(n int, order []int) *ActiveSet {
+	if len(order) != n {
+		panic("fault: iteration order length does not match universe size")
+	}
+	return &ActiveSet{n: n, idx: append([]int(nil), order...), orig: order}
 }
 
 // Len returns the number of currently active faults.
@@ -30,9 +49,11 @@ func (a *ActiveSet) Len() int { return len(a.idx) }
 // been dropped.
 func (a *ActiveSet) Universe() int { return a.n }
 
-// Indices returns the active fault indices in increasing order. The
-// slice is a view into the set's storage: it is valid until the next
-// Compact or Reset and must not be modified by the caller.
+// Indices returns the active fault indices in iteration order
+// (increasing for NewActiveSet, the given order for
+// NewActiveSetOrdered). The slice is a view into the set's storage: it
+// is valid until the next Compact or Reset and must not be modified by
+// the caller.
 func (a *ActiveSet) Indices() []int { return a.idx }
 
 // Compact drops every active fault whose position p (an index into
@@ -52,13 +73,17 @@ func (a *ActiveSet) Compact(keep []bool) int {
 	return dropped
 }
 
-// Reset restores all faults of the universe to active, reusing the
-// existing storage.
+// Reset restores all faults of the universe to active, in the set's
+// original iteration order, reusing the existing storage.
 func (a *ActiveSet) Reset() {
 	if cap(a.idx) < a.n {
 		a.idx = make([]int, a.n)
 	}
 	a.idx = a.idx[:a.n]
+	if a.orig != nil {
+		copy(a.idx, a.orig)
+		return
+	}
 	for i := range a.idx {
 		a.idx[i] = i
 	}
@@ -68,5 +93,5 @@ func (a *ActiveSet) Reset() {
 // resetting one does not affect the other. Sharded runs use it to
 // branch drop state without re-enumerating faults.
 func (a *ActiveSet) Snapshot() *ActiveSet {
-	return &ActiveSet{n: a.n, idx: append([]int(nil), a.idx...)}
+	return &ActiveSet{n: a.n, idx: append([]int(nil), a.idx...), orig: a.orig}
 }

@@ -85,7 +85,9 @@ func TestRunContextCancelMidRun(t *testing.T) {
 
 // TestRunParallelCtxCancelMidRun cancels a sharded run from the
 // progress callback at a block barrier and checks the run stops within
-// one further block, leaking no goroutines.
+// one further block, leaking no goroutines. Pinned to the scalar block
+// width: the 64-pattern batch is the cancellation granularity this
+// test asserts (see TestRunParallelCtxCancelWide for wide batches).
 func TestRunParallelCtxCancelMidRun(t *testing.T) {
 	fl, ps := c17Setup(t, 1024) // 16 blocks
 	for _, workers := range []int{1, 3, 8} {
@@ -93,8 +95,9 @@ func TestRunParallelCtxCancelMidRun(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		const cancelAt = 2
 		r, err := RunParallelCtx(ctx, fl, ps, ParallelOptions{
-			Options: Options{Mode: NoDrop},
-			Workers: workers,
+			Options:    Options{Mode: NoDrop},
+			Workers:    workers,
+			BlockWidth: 64,
 			Progress: func(p Progress) {
 				if p.Block == cancelAt {
 					cancel()
@@ -121,6 +124,46 @@ func TestRunParallelCtxCancelMidRun(t *testing.T) {
 		}
 		if now := runtime.NumGoroutine(); now > before {
 			t.Fatalf("workers=%d: goroutines %d -> %d after cancelled run", workers, before, now)
+		}
+	}
+}
+
+// TestRunParallelCtxCancelWide pins the cancellation granularity of
+// the 512-pattern kernel: a cancel delivered during a superblock takes
+// effect at the next superblock boundary, so the run stops on a
+// 512-vector multiple with all progress events of the finished
+// superblock delivered.
+func TestRunParallelCtxCancelWide(t *testing.T) {
+	fl, ps := c17Setup(t, 1024) // 16 blocks = 2 superblocks at width 512
+	ctx, cancel := context.WithCancel(context.Background())
+	var events []Progress
+	r, err := RunParallelCtx(ctx, fl, ps, ParallelOptions{
+		Options:    Options{Mode: NoDrop},
+		Workers:    3,
+		BlockWidth: 512,
+		Progress: func(p Progress) {
+			events = append(events, p)
+			if p.Block == 2 {
+				cancel() // mid-superblock: the batch still completes
+			}
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r.VectorsUsed != 512 {
+		t.Fatalf("VectorsUsed = %d, want 512 (one full superblock)", r.VectorsUsed)
+	}
+	if len(events) != 8 {
+		t.Fatalf("got %d progress events, want 8 (all blocks of the finished superblock)", len(events))
+	}
+	if len(r.Ndet) != r.VectorsUsed {
+		t.Fatalf("Ndet length %d, VectorsUsed %d", len(r.Ndet), r.VectorsUsed)
+	}
+	full := Run(fl, ps, Options{Mode: NoDrop})
+	for u := 0; u < r.VectorsUsed; u++ {
+		if r.Ndet[u] != full.Ndet[u] {
+			t.Fatalf("partial ndet(%d) = %d, full run has %d", u, r.Ndet[u], full.Ndet[u])
 		}
 	}
 }

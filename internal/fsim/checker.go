@@ -1,0 +1,55 @@
+package fsim
+
+import (
+	"fmt"
+
+	"github.com/eda-go/adifo/internal/circuit"
+	"github.com/eda-go/adifo/internal/fault"
+	"github.com/eda-go/adifo/internal/logic"
+)
+
+// Checker answers single-fault, single-vector detection queries
+// against one circuit. It owns a scalar kernel bound to the compiled
+// form, so repeated queries (ATPG test validation, property-test
+// cross-checks) reuse all simulation storage: zero allocations per
+// query in the steady state. Not safe for concurrent use.
+type Checker struct {
+	k  *kern[circuit.W1]
+	pi []circuit.W1
+}
+
+// NewChecker returns a Checker for c, compiling it first.
+func NewChecker(c *circuit.Circuit) *Checker {
+	return NewCheckerCompiled(circuit.Compile(c))
+}
+
+// NewCheckerCompiled returns a Checker over an existing compiled form.
+func NewCheckerCompiled(cc *circuit.Compiled) *Checker {
+	return &Checker{
+		k:  newKern[circuit.W1](cc, true),
+		pi: make([]circuit.W1, cc.NumInputs()),
+	}
+}
+
+// Detects reports whether vector v detects fault f.
+func (ck *Checker) Detects(f fault.Fault, v logic.Vector) bool {
+	if len(v) != len(ck.pi) {
+		panic(fmt.Sprintf("fsim: vector width %d, circuit has %d inputs", len(v), len(ck.pi)))
+	}
+	for i, bit := range v {
+		if bit != 0 {
+			ck.pi[i] = 1
+		} else {
+			ck.pi[i] = 0
+		}
+	}
+	ck.k.simGood(ck.pi)
+	return ck.k.propagate(f)&1 != 0
+}
+
+// Detects reports whether vector v detects fault f on circuit c. It is
+// a one-shot convenience wrapper that compiles c and builds a fresh
+// Checker per call; loops should construct a Checker once instead.
+func Detects(c *circuit.Circuit, f fault.Fault, v logic.Vector) bool {
+	return NewChecker(c).Detects(f, v)
+}

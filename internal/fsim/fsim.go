@@ -1,12 +1,33 @@
+// Package fsim implements stuck-at fault simulation using PPSFP
+// (parallel-pattern single-fault propagation): good-machine values are
+// computed once per pattern block, then each fault is injected in turn
+// and only its fanout cone is re-evaluated, level by level. The cone
+// walk runs on the compiled circuit form (circuit.Compile) and is
+// width-generic over the block types in internal/circuit: the
+// sequential reference uses scalar 64-pattern blocks, the parallel
+// runner picks 64-, 256- or 512-pattern blocks.
+//
+// Three modes cover everything the paper needs:
+//
+//   - no-drop simulation produces, for every fault f, the detection
+//     set D(f) and, for every vector u, the count ndet(u) — the raw
+//     material of the accidental detection index (Section 2);
+//   - drop mode removes a fault at its first detection and is used to
+//     size the random vector set U (simulate until ~90% coverage);
+//   - n-detect mode drops a fault at its n-th detection, the cheaper
+//     ndet estimator the paper mentions as an alternative.
+//
+// An Incremental simulator supports the ATPG flow: vectors arrive one
+// at a time and every fault detected by the new vector is dropped.
 package fsim
 
 import (
 	"context"
 	"fmt"
 
+	"github.com/eda-go/adifo/internal/circuit"
 	"github.com/eda-go/adifo/internal/fault"
 	"github.com/eda-go/adifo/internal/logic"
-	"github.com/eda-go/adifo/internal/sim"
 )
 
 // Mode selects the dropping policy of a batch simulation run.
@@ -134,6 +155,11 @@ func Run(fl *fault.List, ps *logic.PatternSet, opts Options) *Result {
 // accumulated so far (vectors simulated before the cancelled block are
 // fully accounted) together with ctx.Err(); the error is nil on a
 // completed run.
+//
+// Run is the bit-identity reference for the whole simulator core: it
+// always executes the scalar 64-pattern kernel in fault-index order,
+// and every parallel/wide configuration must reproduce its result
+// exactly.
 func RunContext(ctx context.Context, fl *fault.List, ps *logic.PatternSet, opts Options) (*Result, error) {
 	c := fl.Circuit
 	if ps.Inputs() != c.NumInputs() {
@@ -160,8 +186,8 @@ func RunContext(ctx context.Context, fl *fault.List, ps *logic.PatternSet, opts 
 		}
 	}
 
-	gs := sim.New(c)
-	e := newEngine(c, gs.Values())
+	k := newKern[circuit.W1](circuit.Compile(c), true)
+	pi := make([]circuit.W1, ps.Inputs())
 
 	// active holds indices of not-yet-dropped faults; in NoDrop mode
 	// it never shrinks.
@@ -169,20 +195,22 @@ func RunContext(ctx context.Context, fl *fault.List, ps *logic.PatternSet, opts 
 	for i := range active {
 		active[i] = i
 	}
-	dropped := 0
 
 	for block := 0; block < ps.Blocks(); block++ {
 		if err := ctx.Err(); err != nil {
 			r.Ndet = r.Ndet[:r.VectorsUsed]
 			return r, err
 		}
-		gs.SimulateBlock(ps, block)
+		for i := range pi {
+			pi[i] = circuit.W1(ps.Word(i, block))
+		}
+		k.simGood(pi)
 		mask := ps.BlockMask(block)
 		base := block * logic.WordBits
 
 		w := 0
 		for _, fi := range active {
-			det := e.propagate(fl.Faults[fi]) & mask
+			det := uint64(k.propagate(fl.Faults[fi])) & mask
 			if opts.Mode == NDetect && det != 0 {
 				// Count detections in vector order and stop exactly at
 				// the n-th, so DetCount and ndet are block-size
@@ -211,8 +239,6 @@ func RunContext(ctx context.Context, fl *fault.List, ps *logic.PatternSet, opts 
 			if keep {
 				active[w] = fi
 				w++
-			} else {
-				dropped++
 			}
 		}
 		active = active[:w]
@@ -236,24 +262,30 @@ func RunContext(ctx context.Context, fl *fault.List, ps *logic.PatternSet, opts 
 // dropping" regime of the paper's ATPG flow.
 type Incremental struct {
 	list  *fault.List
-	gs    *sim.Simulator
-	e     *engine
+	k     *kern[circuit.W1]
 	alive []bool
 	nAliv int
-	words []uint64
+	pi    []circuit.W1
 }
 
 // NewIncremental returns an Incremental simulator over the faults of
-// fl. All faults start alive.
+// fl, compiling the circuit first. All faults start alive.
 func NewIncremental(fl *fault.List) *Incremental {
-	gs := sim.New(fl.Circuit)
+	return NewIncrementalCompiled(fl, circuit.Compile(fl.Circuit))
+}
+
+// NewIncrementalCompiled is NewIncremental over an existing compiled
+// form of fl's circuit (or a structurally identical one).
+func NewIncrementalCompiled(fl *fault.List, cc *circuit.Compiled) *Incremental {
+	if cc.Circuit != fl.Circuit && cc.Fingerprint != fl.Circuit.Fingerprint() {
+		panic("fsim: compiled form does not match the fault list's circuit")
+	}
 	inc := &Incremental{
 		list:  fl,
-		gs:    gs,
-		e:     newEngine(fl.Circuit, gs.Values()),
+		k:     newKern[circuit.W1](cc, true),
 		alive: make([]bool, fl.Len()),
 		nAliv: fl.Len(),
-		words: make([]uint64, fl.Circuit.NumInputs()),
+		pi:    make([]circuit.W1, cc.NumInputs()),
 	}
 	for i := range inc.alive {
 		inc.alive[i] = true
@@ -281,25 +313,24 @@ func (inc *Incremental) Drop(f int) {
 // fault it detects and returns the dropped fault indices in
 // increasing order.
 func (inc *Incremental) SimulateVector(v logic.Vector) []int {
-	c := inc.list.Circuit
-	if len(v) != c.NumInputs() {
-		panic(fmt.Sprintf("fsim: vector width %d, circuit has %d inputs", len(v), c.NumInputs()))
+	if len(v) != len(inc.pi) {
+		panic(fmt.Sprintf("fsim: vector width %d, circuit has %d inputs", len(v), len(inc.pi)))
 	}
 	for i, bit := range v {
 		if bit != 0 {
-			inc.words[i] = 1
+			inc.pi[i] = 1
 		} else {
-			inc.words[i] = 0
+			inc.pi[i] = 0
 		}
 	}
-	inc.gs.SimulateWords(inc.words)
+	inc.k.simGood(inc.pi)
 
 	var detected []int
 	for fi, ok := range inc.alive {
 		if !ok {
 			continue
 		}
-		if inc.e.propagate(inc.list.Faults[fi])&1 != 0 {
+		if inc.k.propagate(inc.list.Faults[fi])&1 != 0 {
 			inc.alive[fi] = false
 			inc.nAliv--
 			detected = append(detected, fi)

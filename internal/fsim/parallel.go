@@ -17,7 +17,8 @@ import (
 // sharing it read-only lets repeated fault-grading runs over the same
 // inputs — and all workers inside one run — skip the good simulation
 // entirely; the service registry caches Good values under LRU
-// eviction.
+// eviction. The storage stays 64-pattern-wide regardless of the kernel
+// block width: wide runs gather lanes from it per superblock.
 type Good struct {
 	c      *circuit.Circuit
 	ps     *logic.PatternSet
@@ -25,13 +26,19 @@ type Good struct {
 }
 
 // ComputeGood simulates the fault-free circuit against every block of
-// ps and stores the per-gate value words.
+// ps and stores the per-gate value words. It compiles c first; use
+// ComputeGoodCompiled when a compiled form is already at hand.
 func ComputeGood(c *circuit.Circuit, ps *logic.PatternSet) *Good {
-	if ps.Inputs() != c.NumInputs() {
-		panic(fmt.Sprintf("fsim: pattern set has %d inputs, circuit has %d", ps.Inputs(), c.NumInputs()))
+	return ComputeGoodCompiled(circuit.Compile(c), ps)
+}
+
+// ComputeGoodCompiled is ComputeGood over an existing compiled form.
+func ComputeGoodCompiled(cc *circuit.Compiled, ps *logic.PatternSet) *Good {
+	if ps.Inputs() != cc.NumInputs() {
+		panic(fmt.Sprintf("fsim: pattern set has %d inputs, circuit has %d", ps.Inputs(), cc.NumInputs()))
 	}
-	gs := sim.New(c)
-	g := &Good{c: c, ps: ps, blocks: make([][]uint64, ps.Blocks())}
+	gs := sim.NewCompiled(cc)
+	g := &Good{c: cc.Circuit, ps: ps, blocks: make([][]uint64, ps.Blocks())}
 	for b := range g.blocks {
 		gs.SimulateBlock(ps, b)
 		g.blocks[b] = append([]uint64(nil), gs.Values()...)
@@ -73,6 +80,20 @@ type ParallelOptions struct {
 	// GOMAXPROCS. The worker count never changes results, only speed.
 	Workers int
 
+	// BlockWidth overrides the kernel block width in patterns: 64
+	// (scalar), 256 or 512. Zero picks the widest width the pattern
+	// count justifies. Any other value panics. The width never changes
+	// results, only speed; runs with StopAtCoverage > 0 always execute
+	// at width 64 so the early stop triggers on exactly the same block
+	// as the sequential reference.
+	BlockWidth int
+
+	// Compiled, when non-nil, supplies an existing compiled form of
+	// fl.Circuit (the service registry caches one per netlist
+	// fingerprint); it must match the circuit structurally. When nil
+	// the circuit is compiled on entry.
+	Compiled *circuit.Compiled
+
 	// Good, when non-nil, supplies precomputed good-machine values for
 	// (fl.Circuit, ps); it must have been computed on exactly that
 	// pair. When nil the good machine is simulated on the fly.
@@ -80,7 +101,9 @@ type ParallelOptions struct {
 
 	// Progress, when non-nil, is called after every block barrier with
 	// the run's state. It is called from the coordinating goroutine,
-	// never concurrently.
+	// never concurrently. Wide kernels simulate several 64-pattern
+	// blocks per barrier; their per-block events are delivered
+	// back-to-back at the barrier, in block order.
 	Progress func(Progress)
 }
 
@@ -94,14 +117,15 @@ func RunParallel(fl *fault.List, ps *logic.PatternSet, workers int) *Result {
 // RunParallelWith simulates every fault of fl against ps under the
 // given options with a pool of workers, in any of the three modes.
 // Results are bit-for-bit identical to the sequential Run: workers
-// simulate one 64-pattern block independently over disjoint shards of
-// the active list, then synchronize at the block barrier where
-// detections are merged, per-vector ndet counters are summed and the
-// shared active list is compacted (drop reconciliation). Dropping
-// decisions are per-fault — a fault drops when its own detection count
-// crosses the mode threshold — so deferring the list shrink to the
-// barrier changes nothing about which vectors count, only when the
-// bookkeeping happens.
+// simulate one block batch independently over disjoint shards of the
+// active list, then synchronize at the barrier where detections are
+// merged, per-vector ndet counters are summed and the shared active
+// list is compacted (drop reconciliation). Dropping decisions are
+// per-fault — a fault drops when its own detection count crosses the
+// mode threshold, counted in vector order — so neither the worker
+// shard layout, the active-list iteration order, nor the kernel block
+// width changes which vectors count; only when the bookkeeping
+// happens.
 //
 // fl is never mutated and may be shared (cached) across concurrent
 // runs; each run carries its drop state in a private fault.ActiveSet.
@@ -113,12 +137,12 @@ func RunParallelWith(fl *fault.List, ps *logic.PatternSet, po ParallelOptions) *
 }
 
 // RunParallelCtx is RunParallelWith with cooperative cancellation: ctx
-// is polled at every block barrier, before the workers are dispatched
-// for the next block, so a cancelled run stops within one 64-pattern
-// block of work and leaks no goroutines (workers are per-block and
-// always joined at the barrier). On cancellation it returns the
-// partial result together with ctx.Err(); the error is nil on a
-// completed run.
+// is polled at every barrier, before the workers are dispatched for
+// the next block batch, so a cancelled run stops within one batch
+// (64 patterns at the scalar width, up to 512 at the widest) and leaks
+// no goroutines (workers are per-batch and always joined at the
+// barrier). On cancellation it returns the partial result together
+// with ctx.Err(); the error is nil on a completed run.
 func RunParallelCtx(ctx context.Context, fl *fault.List, ps *logic.PatternSet, po ParallelOptions) (*Result, error) {
 	c := fl.Circuit
 	if ps.Inputs() != c.NumInputs() {
@@ -134,11 +158,105 @@ func RunParallelCtx(ctx context.Context, fl *fault.List, ps *logic.PatternSet, p
 		po.Good.ps.Len() != ps.Len() || po.Good.ps.Inputs() != ps.Inputs()) {
 		panic("fsim: ParallelOptions.Good computed on a different circuit or pattern set")
 	}
+	cc := po.Compiled
+	if cc == nil {
+		cc = circuit.Compile(c)
+	} else if cc.Circuit != c && cc.Fingerprint != c.Fingerprint() {
+		// The compiled-form cache is shared per netlist fingerprint, so
+		// a structurally identical circuit under a different pointer is
+		// fine; anything else is a caller bug.
+		panic("fsim: ParallelOptions.Compiled compiled from a different circuit")
+	}
+	switch pickLanes(po, ps) {
+	case 4:
+		return runParallel[circuit.W4](ctx, fl, ps, po, cc)
+	case 8:
+		return runParallel[circuit.W8](ctx, fl, ps, po, cc)
+	default:
+		return runParallel[circuit.W1](ctx, fl, ps, po, cc)
+	}
+}
+
+// pickLanes maps the configured block width to a lane count. The
+// automatic choice (BlockWidth 0) is mode-aware: NoDrop walks every
+// fault's cone for every pattern, so the widest block the pattern
+// count justifies amortizes the walk 4–8×; in the dropping modes most
+// faults drop early and a wide block makes them pay full-width
+// propagation for patterns they never reach — measured up to 2×
+// slower on the large suite circuits — so they stay scalar unless the
+// caller overrides.
+func pickLanes(po ParallelOptions, ps *logic.PatternSet) int {
+	lanes := 0
+	switch po.BlockWidth {
+	case 0:
+	case 64:
+		lanes = 1
+	case 256:
+		lanes = 4
+	case 512:
+		lanes = 8
+	default:
+		panic(fmt.Sprintf("fsim: BlockWidth %d invalid (want 0, 64, 256 or 512)", po.BlockWidth))
+	}
+	if po.StopAtCoverage > 0 {
+		// The sequential reference checks the coverage stop per
+		// 64-pattern block; running scalar keeps the stopping point
+		// bit-identical.
+		return 1
+	}
+	if lanes != 0 {
+		return lanes
+	}
+	if po.Mode != NoDrop {
+		return 1
+	}
+	switch {
+	case ps.Len() >= 512:
+		return 8
+	case ps.Len() >= 256:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// levelOrder returns the fault indices of fl ordered by the logic
+// level of the fault site (ascending, ties in fault-index order):
+// neighbouring shard positions then carry cones of similar depth,
+// which evens out per-shard cost and keeps the workers' level-bucket
+// walks on similar footing. Pure scheduling — results are unaffected.
+func levelOrder(fl *fault.List, cc *circuit.Compiled) []int {
+	cnt := make([]int, cc.MaxLevel+2)
+	for _, f := range fl.Faults {
+		cnt[cc.Level[f.Gate]+1]++
+	}
+	for l := 1; l < len(cnt); l++ {
+		cnt[l] += cnt[l-1]
+	}
+	order := make([]int, len(fl.Faults))
+	for i, f := range fl.Faults {
+		lvl := cc.Level[f.Gate]
+		order[cnt[lvl]] = i
+		cnt[lvl]++
+	}
+	return order
+}
+
+// runParallel is the width-generic body of RunParallelCtx. One
+// iteration of the outer loop processes a superblock of Lanes()
+// 64-pattern blocks: the good machine is evaluated once for the whole
+// superblock, each worker walks its shard of active faults exactly
+// once, and per-fault accounting iterates the detection block's lanes
+// in pattern order so dropping and n-detect truncation happen at
+// precisely the same vector as in the scalar reference.
+func runParallel[B circuit.Block[B]](ctx context.Context, fl *fault.List, ps *logic.PatternSet, po ParallelOptions, cc *circuit.Compiled) (*Result, error) {
+	var zb B
+	lanes := zb.Lanes()
+	nf := fl.Len()
 	workers := po.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	nf := fl.Len()
 	if workers > nf {
 		workers = nf
 	}
@@ -162,42 +280,79 @@ func RunParallelCtx(ctx context.Context, fl *fault.List, ps *logic.PatternSet, p
 		}
 	}
 
-	var gs *sim.Simulator
+	// Shared good-value arena for the current superblock: the
+	// coordinator refills it between barriers, all worker kernels read
+	// it concurrently. Unpopulated tail lanes of the last superblock
+	// stay zero — lanes are independent, so their garbage results are
+	// never read (the accounting loop stops at the last real block).
+	goodVals := make([]B, cc.NumGates())
+	var pi, scratch []B
 	if po.Good == nil {
-		gs = sim.New(c)
+		pi = make([]B, ps.Inputs())
+		scratch = make([]B, cc.MaxFanin)
 	}
-	engines := make([]*engine, workers)
-	for w := range engines {
-		engines[w] = newEngine(c, nil)
+	kerns := make([]*kern[B], workers)
+	for w := range kerns {
+		kerns[w] = newKern[B](cc, false)
+		kerns[w].good = goodVals
 	}
-	// Per-worker accumulators, merged at the block barrier: ndet is
-	// the only cross-fault shared counter, newDet feeds the running
-	// detected count used by StopAtCoverage and Progress.
-	ndetLocal := make([][]int, workers)
-	for w := range ndetLocal {
-		ndetLocal[w] = make([]int, logic.WordBits)
-	}
-	newDet := make([]int, workers)
 
-	active := fault.NewActiveSet(nf)
+	// Per-worker accumulators, merged at the barrier. ndet is the only
+	// cross-fault shared counter; the per-lane first-detection and drop
+	// counts reconstruct the per-64-block progress stream, and maxDrop
+	// tracks the latest block with a drop for the early-exit
+	// VectorsUsed (monotone, so it needs no per-batch reset).
+	ndetLocal := make([][]int, workers)
+	newDetLane := make([][]int, workers)
+	dropLane := make([][]int, workers)
+	maxDrop := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		ndetLocal[w] = make([]int, lanes*logic.WordBits)
+		newDetLane[w] = make([]int, lanes)
+		dropLane[w] = make([]int, lanes)
+	}
+
+	active := fault.NewActiveSetOrdered(nf, levelOrder(fl, cc))
 	keep := make([]bool, nf) // keep[p] decided by position in the active list
 	detected := 0
 
+	blocks := ps.Blocks()
 	var wg sync.WaitGroup
-	for block := 0; block < ps.Blocks(); block++ {
+	for firstBlock := 0; firstBlock < blocks; firstBlock += lanes {
 		if err := ctx.Err(); err != nil {
 			r.Ndet = r.Ndet[:r.VectorsUsed]
 			return r, err
 		}
-		var goodVals []uint64
-		if po.Good != nil {
-			goodVals = po.Good.Block(block)
-		} else {
-			gs.SimulateBlock(ps, block)
-			goodVals = gs.Values()
+		nLanes := lanes
+		if firstBlock+nLanes > blocks {
+			nLanes = blocks - firstBlock
 		}
-		mask := ps.BlockMask(block)
-		base := block * logic.WordBits
+
+		// Fill the shared good arena: gather lanes from the 64-wide
+		// cache, or simulate the whole superblock in one wide pass.
+		if po.Good != nil {
+			for l := 0; l < nLanes; l++ {
+				blk := po.Good.Block(firstBlock + l)
+				if l == 0 {
+					for gi, w := range blk {
+						goodVals[gi] = zb.SetLane(0, w)
+					}
+				} else {
+					for gi, w := range blk {
+						goodVals[gi] = goodVals[gi].SetLane(l, w)
+					}
+				}
+			}
+		} else {
+			for i := range pi {
+				v := zb
+				for l := 0; l < nLanes; l++ {
+					v = v.SetLane(l, ps.Word(i, firstBlock+l))
+				}
+				pi[i] = v
+			}
+			simGoodInto(cc, pi, goodVals, scratch)
+		}
 
 		act := active.Indices()
 		n := len(act)
@@ -213,81 +368,124 @@ func RunParallelCtx(ctx context.Context, fl *fault.List, ps *logic.PatternSet, p
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				e := engines[w]
-				e.good = goodVals
+				k := kerns[w]
 				local := ndetLocal[w]
-				nd := 0
+				ndl := newDetLane[w]
+				dl := dropLane[w]
 				for p := lo; p < hi; p++ {
 					fi := act[p]
-					det := e.propagate(fl.Faults[fi]) & mask
-					if po.Mode == NDetect && det != 0 {
-						// Count detections in vector order and stop
-						// exactly at the n-th, so DetCount and ndet are
-						// block-size independent (same rule as Run).
-						det = keepLowestBits(det, po.N-r.DetCount[fi])
-					}
-					if det != 0 {
-						r.DetCount[fi] += logic.Popcount(det)
-						if r.FirstDet[fi] < 0 {
-							r.FirstDet[fi] = base + lowestBit(det)
-							nd++
+					det := k.propagate(fl.Faults[fi])
+					kp := true
+					for l := 0; l < nLanes; l++ {
+						block := firstBlock + l
+						d := det.Lane(l) & ps.BlockMask(block)
+						if po.Mode == NDetect && d != 0 {
+							// Count detections in vector order and stop
+							// exactly at the n-th, so DetCount and ndet
+							// are block-size independent (same rule as
+							// Run).
+							d = keepLowestBits(d, po.N-r.DetCount[fi])
 						}
-						if r.Det != nil {
-							r.Det[fi].OrWord(block, det)
+						if d != 0 {
+							r.DetCount[fi] += logic.Popcount(d)
+							if r.FirstDet[fi] < 0 {
+								r.FirstDet[fi] = block*logic.WordBits + lowestBit(d)
+								ndl[l]++
+							}
+							if r.Det != nil {
+								r.Det[fi].OrWord(block, d)
+							}
+							lb := l * logic.WordBits
+							for dd := d; dd != 0; dd &= dd - 1 {
+								local[lb+lowestBit(dd)]++
+							}
 						}
-						for d := det; d != 0; d &= d - 1 {
-							local[lowestBit(d)]++
+						dropped := false
+						switch po.Mode {
+						case Drop:
+							dropped = r.DetCount[fi] > 0
+						case NDetect:
+							dropped = r.DetCount[fi] >= po.N
+						}
+						if dropped {
+							// Later lanes are vectors this fault never
+							// reaches in the sequential reference.
+							kp = false
+							dl[l]++
+							if block > maxDrop[w] {
+								maxDrop[w] = block
+							}
+							break
 						}
 					}
-					switch po.Mode {
-					case NoDrop:
-						keep[p] = true
-					case Drop:
-						keep[p] = r.DetCount[fi] == 0
-					case NDetect:
-						keep[p] = r.DetCount[fi] < po.N
-					}
+					keep[p] = kp
 				}
-				newDet[w] = nd
 			}(w, lo, hi)
 		}
 		wg.Wait()
 
-		// Block barrier: merge (and zero) the per-worker counters, fold
-		// in newly detected faults and reconcile drops by compacting
-		// the shared list. Zeroing happens here rather than in the
-		// workers because a worker whose shard is empty this block
-		// never runs, yet its accumulator is still merged.
+		// Barrier: merge (and zero) the per-worker counters and
+		// reconcile drops by compacting the shared list. Zeroing
+		// happens here rather than in the workers because a worker
+		// whose shard is empty this batch never runs, yet its
+		// accumulator is still merged.
+		vecBase := firstBlock * logic.WordBits
 		for w := 0; w < workers; w++ {
 			local := ndetLocal[w]
-			for bit, cnt := range local {
+			for idx, cnt := range local {
 				if cnt != 0 {
-					r.Ndet[base+bit] += cnt
-					local[bit] = 0
+					r.Ndet[vecBase+idx] += cnt
+					local[idx] = 0
 				}
 			}
-			detected += newDet[w]
-			newDet[w] = 0
 		}
 		if po.Mode != NoDrop {
 			active.Compact(keep[:n])
 		}
-		r.VectorsUsed = min(base+logic.WordBits, ps.Len())
 
-		if po.Progress != nil {
-			po.Progress(Progress{
-				Block:       block,
-				Blocks:      ps.Blocks(),
-				VectorsUsed: r.VectorsUsed,
-				Detected:    detected,
-				Active:      active.Len(),
-			})
+		// On an emptying batch the run used exactly the vectors up to
+		// the last dropping block, as the sequential reference would
+		// have stopped there; no fault contributes anything past its
+		// own drop lane, so later lanes of this superblock are unused.
+		emptied := po.Mode != NoDrop && active.Len() == 0
+		lastLane := nLanes - 1
+		if emptied {
+			m := 0
+			for w := 0; w < workers; w++ {
+				if maxDrop[w] > m {
+					m = maxDrop[w]
+				}
+			}
+			lastLane = m - firstBlock
 		}
+		r.VectorsUsed = min((firstBlock+lastLane+1)*logic.WordBits, ps.Len())
+
+		// Reconstruct the per-64-block progress stream from the
+		// per-lane counters (and zero them for the next batch).
+		dropsSoFar := 0
+		for l := 0; l < nLanes; l++ {
+			for w := 0; w < workers; w++ {
+				detected += newDetLane[w][l]
+				dropsSoFar += dropLane[w][l]
+				newDetLane[w][l] = 0
+				dropLane[w][l] = 0
+			}
+			if po.Progress != nil && l <= lastLane {
+				po.Progress(Progress{
+					Block:       firstBlock + l,
+					Blocks:      blocks,
+					VectorsUsed: min((firstBlock+l+1)*logic.WordBits, ps.Len()),
+					Detected:    detected,
+					Active:      n - dropsSoFar,
+				})
+			}
+		}
+
 		if po.StopAtCoverage > 0 &&
 			float64(detected) >= po.StopAtCoverage*float64(nf) {
 			break
 		}
-		if active.Len() == 0 && po.Mode != NoDrop {
+		if emptied {
 			break
 		}
 	}

@@ -206,4 +206,26 @@ func BenchmarkRunParallel(b *testing.B) {
 			RunParallelWith(fl, ps, ParallelOptions{Good: good})
 		}
 	})
+
+	// The largest bundled suite circuits at a fixed 8 workers: the
+	// numbers the simulator-core perf trajectory (BENCH_sim.json) is
+	// gated on.
+	for _, name := range []string{"irs5378", "irs13207"} {
+		sc, ok := gen.SuiteByName(name)
+		if !ok {
+			b.Fatalf("suite circuit %s missing", name)
+		}
+		big := sc.Build()
+		bigFl := fault.CollapsedUniverse(big)
+		bigPs := logic.RandomPatterns(big.NumInputs(), 1024, prng.New(sc.Seed))
+		for _, mode := range []Options{{Mode: NoDrop}, {Mode: Drop}} {
+			opts := mode
+			b.Run(name+"/"+opts.Mode.String()+"/w8", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					RunParallelWith(bigFl, bigPs, ParallelOptions{Options: opts, Workers: 8})
+				}
+			})
+		}
+	}
 }

@@ -218,6 +218,12 @@ func Generate(cfg Config) *circuit.Circuit {
 	if mainBudget < cfg.Gates/2 {
 		mainBudget = cfg.Gates / 2
 	}
+	// The funnel reserve is sized for medium circuits and can swallow a
+	// tiny gate budget whole (Gates below the pool floor), leaving an
+	// output-less netlist; always build at least one gate.
+	if mainBudget < 1 {
+		mainBudget = 1
+	}
 
 	regionEnd := 0
 	for gi < mainBudget {

@@ -93,10 +93,12 @@ func (gradeKind) run(s *Service, j *job) (any, error) {
 		good = s.reg.Good(entry, patternKey, ps)
 	}
 	res, err := fsim.RunParallelCtx(j.ctx, faults, ps, fsim.ParallelOptions{
-		Options:  opts,
-		Workers:  s.jobWorkers(j),
-		Good:     good,
-		Progress: func(p fsim.Progress) { j.publish(p) },
+		Options:    opts,
+		Workers:    s.jobWorkers(j),
+		BlockWidth: j.spec.BlockWidth,
+		Compiled:   s.reg.Compiled(entry),
+		Good:       good,
+		Progress:   func(p fsim.Progress) { j.publish(p) },
 	})
 	stopSim()
 	if err != nil {

@@ -168,10 +168,12 @@ func (s *Service) computeIndex(j *job) (*CircuitEntry, *adi.Index, error) {
 	stopSim := j.phase(PhaseSimulate)
 	good := s.reg.Good(entry, patternKey, ps)
 	res, err := fsim.RunParallelCtx(j.ctx, entry.Faults, ps, fsim.ParallelOptions{
-		Options:  fsim.Options{Mode: fsim.NoDrop},
-		Workers:  s.jobWorkers(j),
-		Good:     good,
-		Progress: func(p fsim.Progress) { j.publish(p) },
+		Options:    fsim.Options{Mode: fsim.NoDrop},
+		Workers:    s.jobWorkers(j),
+		BlockWidth: j.spec.BlockWidth,
+		Compiled:   s.reg.Compiled(entry),
+		Good:       good,
+		Progress:   func(p fsim.Progress) { j.publish(p) },
 	})
 	stopSim()
 	if err != nil {

@@ -126,12 +126,24 @@ func newServiceMetrics(reg *obs.Registry, s *Service) *serviceMetrics {
 	reg.CounterFunc("adifo_registry_good_evictions_total",
 		"Good-machine cache entries evicted by the LRU.",
 		stats(func(r RegistryStats) uint64 { return r.GoodEvictions }))
+	reg.CounterFunc("adifo_registry_compiled_hits_total",
+		"Compiled-form cache lookups served from cache.",
+		stats(func(r RegistryStats) uint64 { return r.CompiledHits }))
+	reg.CounterFunc("adifo_registry_compiled_misses_total",
+		"Compiled-form cache lookups that had to lower the netlist.",
+		stats(func(r RegistryStats) uint64 { return r.CompiledMisses }))
+	reg.CounterFunc("adifo_registry_compiled_evictions_total",
+		"Compiled-form cache entries evicted by the LRU.",
+		stats(func(r RegistryStats) uint64 { return r.CompiledEvictions }))
 	reg.GaugeFunc("adifo_registry_circuits",
 		"Circuit cache entries currently resident.",
 		func() float64 { return float64(s.reg.Stats().Circuits) })
 	reg.GaugeFunc("adifo_registry_goods",
 		"Good-machine cache entries currently resident.",
 		func() float64 { return float64(s.reg.Stats().Goods) })
+	reg.GaugeFunc("adifo_registry_compiled",
+		"Compiled-form cache entries currently resident.",
+		func() float64 { return float64(s.reg.Stats().Compiled) })
 
 	// Journal instruments are always registered — a deterministic
 	// catalog regardless of configuration — and read zero while the

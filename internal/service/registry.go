@@ -38,8 +38,17 @@ type RegistryStats struct {
 	// for the working set and rebuild cost is being paid repeatedly.
 	CircuitEvictions uint64 `json:"circuit_evictions"`
 	GoodEvictions    uint64 `json:"good_evictions"`
-	Circuits         int    `json:"circuits"`
-	Goods            int    `json:"goods"`
+	// Compiled-form counters: the SoA simulation form derived from a
+	// cached circuit (keyed by netlist fingerprint, so structurally
+	// identical submissions under different keys share one form). A
+	// miss costs one circuit.Compile; hits hand every grading job the
+	// same immutable arrays.
+	CompiledHits      uint64 `json:"compiled_hits"`
+	CompiledMisses    uint64 `json:"compiled_misses"`
+	CompiledEvictions uint64 `json:"compiled_evictions"`
+	Circuits          int    `json:"circuits"`
+	Goods             int    `json:"goods"`
+	Compiled          int    `json:"compiled"`
 }
 
 // Registry caches parsed circuits (with their collapsed fault lists)
@@ -56,6 +65,7 @@ type Registry struct {
 	mu       sync.Mutex
 	circuits *lruCache[*circuitSlot]
 	goods    *lruCache[*goodSlot]
+	compiled *lruCache[*compiledSlot]
 	stats    RegistryStats
 }
 
@@ -73,12 +83,20 @@ type goodSlot struct {
 	g    *fsim.Good
 }
 
+type compiledSlot struct {
+	once sync.Once
+	cc   *circuit.Compiled
+}
+
 // NewRegistry returns a registry holding at most circuitCap circuit
 // entries and goodCap good-machine simulations.
 func NewRegistry(circuitCap, goodCap int) *Registry {
 	return &Registry{
 		circuits: newLRU[*circuitSlot](circuitCap),
 		goods:    newLRU[*goodSlot](goodCap),
+		// One compiled form per live circuit is the steady state, so
+		// the compiled cache shares the circuit capacity.
+		compiled: newLRU[*compiledSlot](circuitCap),
 	}
 }
 
@@ -178,8 +196,33 @@ func (r *Registry) Good(entry *CircuitEntry, patternKey string, ps *logic.Patter
 	}
 	r.mu.Unlock()
 
-	slot.once.Do(func() { slot.g = fsim.ComputeGood(entry.Circuit, ps) })
+	slot.once.Do(func() { slot.g = fsim.ComputeGoodCompiled(r.Compiled(entry), ps) })
 	return slot.g
+}
+
+// Compiled returns the cached SoA simulation form for entry's netlist,
+// compiling it on a miss (outside the lock, single-flight per key).
+// The key is the netlist fingerprint rather than the request key, so
+// an inline submission of a named circuit's text shares the compiled
+// form with jobs naming it — the simulator accepts any compiled form
+// whose fingerprint matches the circuit it runs.
+func (r *Registry) Compiled(entry *CircuitEntry) *circuit.Compiled {
+	key := fmt.Sprintf("%016x", entry.Fingerprint)
+	r.mu.Lock()
+	slot, ok := r.compiled.get(key)
+	if ok {
+		r.stats.CompiledHits++
+	} else {
+		r.stats.CompiledMisses++
+		slot = &compiledSlot{}
+		if r.compiled.put(key, slot) {
+			r.stats.CompiledEvictions++
+		}
+	}
+	r.mu.Unlock()
+
+	slot.once.Do(func() { slot.cc = circuit.Compile(entry.Circuit) })
+	return slot.cc
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -189,5 +232,6 @@ func (r *Registry) Stats() RegistryStats {
 	s := r.stats
 	s.Circuits = r.circuits.len()
 	s.Goods = r.goods.len()
+	s.Compiled = r.compiled.len()
 	return s
 }

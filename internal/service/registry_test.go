@@ -220,6 +220,51 @@ func TestRegistryEvictionDuringBuild(t *testing.T) {
 	}
 }
 
+// TestRegistryCompiledCaching pins the compiled-form cache contract:
+// repeat lookups share one immutable form, and because the key is the
+// netlist fingerprint (not the request key), an inline submission of a
+// named circuit's text shares the form compiled for the name.
+func TestRegistryCompiledCaching(t *testing.T) {
+	r := NewRegistry(4, 4)
+	e, err := r.CircuitFor(JobSpec{Circuit: "c17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc1 := r.Compiled(e)
+	cc2 := r.Compiled(e)
+	if cc1 != cc2 {
+		t.Fatal("repeat compiled lookup did not hit the cache")
+	}
+	if cc1.Fingerprint != e.Fingerprint {
+		t.Fatal("compiled form carries the wrong fingerprint")
+	}
+
+	src, err := benchdata.Source("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Name matters: the fingerprint covers the circuit name, so only a
+	// same-named inline submission is the same netlist.
+	e2, err := r.CircuitFor(JobSpec{Bench: src, Name: "c17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 == e {
+		t.Fatal("inline and named submissions must be distinct circuit entries")
+	}
+	if cc3 := r.Compiled(e2); cc3 != cc1 {
+		t.Fatal("structurally identical netlists must share one compiled form")
+	}
+
+	st := r.Stats()
+	if st.CompiledHits != 2 || st.CompiledMisses != 1 {
+		t.Fatalf("stats = %+v, want 2 compiled hits / 1 miss", st)
+	}
+	if st.Compiled != 1 {
+		t.Fatalf("resident compiled forms = %d, want 1", st.Compiled)
+	}
+}
+
 func TestRegistryBadCircuit(t *testing.T) {
 	r := NewRegistry(4, 4)
 	if _, err := r.CircuitFor(JobSpec{Circuit: "no-such-circuit"}); err == nil {

@@ -138,6 +138,11 @@ type JobSpec struct {
 	// values (negative, or above the service's SimWorkers) are rejected
 	// at submit time rather than silently clamped.
 	Workers int `json:"workers,omitempty"`
+	// BlockWidth pins the simulation kernel's block width in patterns
+	// per fault pass: 64, 256 or 512 (0 = automatic, which picks the
+	// widest block the job's pattern count and mode justify). Results
+	// never depend on it. Other values are rejected at submit time.
+	BlockWidth int `json:"block_width,omitempty"`
 	// StopAtCoverage, when positive, stops after the first block
 	// reaching that fault coverage.
 	StopAtCoverage float64 `json:"stop_at_coverage,omitempty"`
@@ -559,6 +564,11 @@ func (s *Service) validateSpec(spec JobSpec) (jobKind, error) {
 	if spec.Workers < 0 || spec.Workers > s.cfg.SimWorkers {
 		return nil, fmt.Errorf("workers %d out of range [0, %d] (0 = service default)",
 			spec.Workers, s.cfg.SimWorkers)
+	}
+	switch spec.BlockWidth {
+	case 0, 64, 256, 512:
+	default:
+		return nil, fmt.Errorf("block_width %d invalid; want 0 (auto), 64, 256 or 512", spec.BlockWidth)
 	}
 	if err := validateTenancy(spec); err != nil {
 		return nil, err

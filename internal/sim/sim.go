@@ -4,9 +4,11 @@
 // produced by logic.PatternSet, so a full pattern set is simulated in
 // ceil(n/64) topological passes.
 //
-// The fault simulator (package fsim) builds on the good values
-// computed here, re-simulating only the fanout cone of each injected
-// fault.
+// The simulator executes the compiled (SoA/CSR) circuit form from
+// circuit.Compile: evaluation walks the levelized gate order over flat
+// fanin arrays rather than per-gate structs. The fault simulator
+// (package fsim) builds on the good values computed here, re-simulating
+// only the fanout cone of each injected fault.
 package sim
 
 import (
@@ -20,39 +22,40 @@ import (
 // to create but reusable; reuse avoids re-allocating the value array
 // for every 64-pattern block. Not safe for concurrent use.
 type Simulator struct {
-	c   *circuit.Circuit
+	cc  *circuit.Compiled
 	val []uint64
 	// scratch fanin buffer, sized to the widest gate.
 	in []uint64
 }
 
-// New returns a Simulator for c.
+// New returns a Simulator for c, compiling it first. Callers that
+// already hold a compiled form (e.g. via the service registry) should
+// use NewCompiled to skip the recompilation.
 func New(c *circuit.Circuit) *Simulator {
-	maxFanin := 0
-	for _, g := range c.Gates {
-		if len(g.Fanin) > maxFanin {
-			maxFanin = len(g.Fanin)
-		}
-	}
+	return NewCompiled(circuit.Compile(c))
+}
+
+// NewCompiled returns a Simulator executing an existing compiled form.
+func NewCompiled(cc *circuit.Compiled) *Simulator {
 	return &Simulator{
-		c:   c,
-		val: make([]uint64, c.NumGates()),
-		in:  make([]uint64, maxFanin),
+		cc:  cc,
+		val: make([]uint64, cc.NumGates()),
+		in:  make([]uint64, cc.MaxFanin),
 	}
 }
 
 // Circuit returns the simulated circuit.
-func (s *Simulator) Circuit() *circuit.Circuit { return s.c }
+func (s *Simulator) Circuit() *circuit.Circuit { return s.cc.Circuit }
 
 // SimulateBlock loads block b of ps into the primary inputs and
-// evaluates the whole circuit in topological order. After it returns,
+// evaluates the whole circuit in levelized order. After it returns,
 // Value(g) holds the good value word of every gate for the 64 patterns
 // of the block.
 func (s *Simulator) SimulateBlock(ps *logic.PatternSet, block int) {
-	if ps.Inputs() != s.c.NumInputs() {
-		panic(fmt.Sprintf("sim: pattern set has %d inputs, circuit has %d", ps.Inputs(), s.c.NumInputs()))
+	if ps.Inputs() != s.cc.NumInputs() {
+		panic(fmt.Sprintf("sim: pattern set has %d inputs, circuit has %d", ps.Inputs(), s.cc.NumInputs()))
 	}
-	for i, piGate := range s.c.Inputs {
+	for i, piGate := range s.cc.Inputs {
 		s.val[piGate] = ps.Word(i, block)
 	}
 	s.evalAll()
@@ -63,10 +66,10 @@ func (s *Simulator) SimulateBlock(ps *logic.PatternSet, block int) {
 // when patterns are produced on the fly rather than stored in a
 // PatternSet.
 func (s *Simulator) SimulateWords(pi []uint64) {
-	if len(pi) != s.c.NumInputs() {
-		panic(fmt.Sprintf("sim: got %d input words, circuit has %d inputs", len(pi), s.c.NumInputs()))
+	if len(pi) != s.cc.NumInputs() {
+		panic(fmt.Sprintf("sim: got %d input words, circuit has %d inputs", len(pi), s.cc.NumInputs()))
 	}
-	for i, piGate := range s.c.Inputs {
+	for i, piGate := range s.cc.Inputs {
 		s.val[piGate] = pi[i]
 	}
 	s.evalAll()
@@ -75,32 +78,30 @@ func (s *Simulator) SimulateWords(pi []uint64) {
 // SimulateVector evaluates a single fully specified vector and returns
 // the output values in circuit.Outputs order.
 func (s *Simulator) SimulateVector(v logic.Vector) []uint8 {
-	if len(v) != s.c.NumInputs() {
-		panic(fmt.Sprintf("sim: vector width %d, circuit has %d inputs", len(v), s.c.NumInputs()))
+	if len(v) != s.cc.NumInputs() {
+		panic(fmt.Sprintf("sim: vector width %d, circuit has %d inputs", len(v), s.cc.NumInputs()))
 	}
-	for i, piGate := range s.c.Inputs {
+	for i, piGate := range s.cc.Inputs {
 		s.val[piGate] = uint64(v[i] & 1)
 	}
 	s.evalAll()
-	out := make([]uint8, s.c.NumOutputs())
-	for i, og := range s.c.Outputs {
+	out := make([]uint8, len(s.cc.Outputs))
+	for i, og := range s.cc.Outputs {
 		out[i] = uint8(s.val[og] & 1)
 	}
 	return out
 }
 
 func (s *Simulator) evalAll() {
-	c := s.c
-	for _, gi := range c.Topo {
-		g := &c.Gates[gi]
-		if g.Type == circuit.PI {
-			continue
-		}
-		in := s.in[:len(g.Fanin)]
-		for k, f := range g.Fanin {
+	cc := s.cc
+	// Level 0 is exactly the PIs, whose values were just loaded.
+	for _, gi := range cc.Order[cc.LevelStart[1]:] {
+		lo, hi := cc.FaninStart[gi], cc.FaninStart[gi+1]
+		in := s.in[:hi-lo]
+		for k, f := range cc.Fanin[lo:hi] {
 			in[k] = s.val[f]
 		}
-		s.val[gi] = circuit.EvalWord(g.Type, in)
+		s.val[gi] = circuit.EvalWord(cc.Type[gi], in)
 	}
 }
 
@@ -115,8 +116,8 @@ func (s *Simulator) Values() []uint64 { return s.val }
 
 // OutputWords returns the output value words in circuit.Outputs order.
 func (s *Simulator) OutputWords() []uint64 {
-	out := make([]uint64, s.c.NumOutputs())
-	for i, og := range s.c.Outputs {
+	out := make([]uint64, len(s.cc.Outputs))
+	for i, og := range s.cc.Outputs {
 		out[i] = s.val[og]
 	}
 	return out

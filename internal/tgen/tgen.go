@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/eda-go/adifo/internal/atpg"
+	"github.com/eda-go/adifo/internal/circuit"
 	"github.com/eda-go/adifo/internal/fault"
 	"github.com/eda-go/adifo/internal/fsim"
 	"github.com/eda-go/adifo/internal/logic"
@@ -170,7 +171,12 @@ func GenerateContext(ctx context.Context, fl *fault.List, order []int, opts Opti
 	start := time.Now()
 
 	gen := atpg.New(fl.Circuit, atpg.Options{BacktrackLimit: opts.BacktrackLimit})
-	inc := fsim.NewIncremental(fl)
+	cc := circuit.Compile(fl.Circuit)
+	inc := fsim.NewIncrementalCompiled(fl, cc)
+	var check *fsim.Checker
+	if opts.Validate {
+		check = fsim.NewCheckerCompiled(cc)
+	}
 	fill := prng.New(opts.FillSeed)
 
 	r := &Result{List: fl, Order: order}
@@ -191,10 +197,10 @@ func GenerateContext(ctx context.Context, fl *fault.List, order []int, opts Opti
 		switch res.Status {
 		case atpg.Success:
 			v := atpg.FillRandom(res.Cube, fill)
-			dropped := inc.SimulateVector(v)
-			if opts.Validate && !contains(dropped, fi) {
+			if check != nil && !check.Detects(f, v) {
 				panic(fmt.Sprintf("tgen: vector generated for %v does not detect it", f.Name(fl.Circuit)))
 			}
+			dropped := inc.SimulateVector(v)
 			detected += len(dropped)
 			r.Tests = append(r.Tests, v)
 			r.TargetOf = append(r.TargetOf, fi)
@@ -233,15 +239,6 @@ func checkPermutation(order []int, n int) error {
 		seen[fi] = true
 	}
 	return nil
-}
-
-func contains(xs []int, x int) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
 }
 
 // CoveragePoints converts a cumulative curve into (tests %, coverage

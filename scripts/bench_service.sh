@@ -23,6 +23,21 @@ grep -q 'BenchmarkClusterGradeStraggler' "$out"
 echo "wrote $out:"
 grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' "$out" | sed 's/"Output":"//; s/\\n"$//' || true
 
+# Simulator-core benchmarks: the wide-block parallel fault-grading
+# kernels (BenchmarkRunParallel, the ISCAS-scale throughput number the
+# compiled-core work is judged by) and the one-time netlist lowering
+# cost (BenchmarkCompile, the price of a registry compiled-cache miss).
+# Recorded separately as BENCH_sim.json so kernel regressions are
+# visible without the serving-path noise on top.
+sim_out="$(dirname "$out")/BENCH_sim.json"
+go test -run '^$' -bench 'BenchmarkRunParallel$|BenchmarkCompile$' \
+  -benchtime "${ADIFO_BENCHTIME:-5x}" -count 1 -json \
+  ./internal/fsim ./internal/circuit > "$sim_out"
+grep -q 'BenchmarkRunParallel' "$sim_out"
+grep -q 'BenchmarkCompile' "$sim_out"
+echo "wrote $sim_out:"
+grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' "$sim_out" | sed 's/"Output":"//; s/\\n"$//' || true
+
 # Archive a /metrics snapshot from a real adifod next to the benchmark
 # stream, so each commit's artifact also records the metric catalog
 # (and sanity-checks the exposition on the same runner).

@@ -73,6 +73,15 @@ func WithStopAtCoverage(cov float64) SimOption {
 	return func(c *simConfig) { c.par.StopAtCoverage = cov }
 }
 
+// WithBlockWidth pins the simulation kernel's block width — the number
+// of patterns one fault pass evaluates — to 64, 256 or 512. The
+// default (0) picks the widest block the pattern count and mode
+// justify. Like the worker count, the width never changes results,
+// only speed; invalid widths are rejected by Simulate.
+func WithBlockWidth(w int) SimOption {
+	return func(c *simConfig) { c.par.BlockWidth = w }
+}
+
 // WithProgress registers a callback invoked after every 64-pattern
 // block barrier with the run's state. It is called from the
 // coordinating goroutine, never concurrently.
@@ -98,6 +107,11 @@ func Simulate(ctx context.Context, fl *FaultList, ps *PatternSet, opts ...SimOpt
 	}
 	if cfg.par.Mode == fsim.NDetect && cfg.par.N <= 0 {
 		return nil, fmt.Errorf("adifo: NDetect mode requires a threshold > 0 (use WithNDetect)")
+	}
+	switch cfg.par.BlockWidth {
+	case 0, 64, 256, 512:
+	default:
+		return nil, fmt.Errorf("adifo: block width %d invalid; want 0 (auto), 64, 256 or 512", cfg.par.BlockWidth)
 	}
 	return fsim.RunParallelCtx(ctx, fl, ps, cfg.par)
 }
